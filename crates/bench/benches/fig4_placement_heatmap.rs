@@ -1,0 +1,27 @@
+//! Criterion bench for the Figure 4 experiment: one placement heat map
+//! per iteration, for each of the five placements the paper compares.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use equinox_core::heatmap::placement_heatmap;
+use equinox_placement::select::best_nqueen_placement;
+use equinox_placement::Placement;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4_placement_heatmap");
+    g.sample_size(10);
+    let placements: Vec<(&str, Placement)> = vec![
+        ("top", Placement::top(8, 8, 8)),
+        ("diamond", Placement::diamond(8, 8, 8)),
+        ("nqueen", best_nqueen_placement(8, 8, usize::MAX, 0)),
+    ];
+    for (name, p) in placements {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &p, |b, p| {
+            b.iter(|| black_box(placement_heatmap(p, 0.85, 1_000, 1).variance))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Criterion bench for the Figure 7 design search: MCTS vs the GA and SA
+//! baselines at equal (small) evaluation budgets.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use equinox_mcts::problem::EirProblem;
+use equinox_mcts::{ga, sa, tree};
+use equinox_placement::select::best_nqueen_placement;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let placement = best_nqueen_placement(8, 8, usize::MAX, 0);
+    let problem = EirProblem::new(placement);
+    let mut g = c.benchmark_group("fig7_search");
+    g.sample_size(10);
+    g.bench_function("mcts_200_iters", |b| {
+        b.iter(|| {
+            black_box(tree::search(
+                &problem,
+                &tree::MctsConfig {
+                    iterations: 200,
+                    seed: 1,
+                    ..Default::default()
+                },
+            ))
+        })
+    });
+    g.bench_function("ga_200_evals", |b| {
+        b.iter(|| {
+            black_box(ga::search(
+                &problem,
+                &ga::GaConfig {
+                    population: 20,
+                    generations: 10,
+                    seed: 1,
+                    ..Default::default()
+                },
+            ))
+        })
+    });
+    g.bench_function("sa_200_steps", |b| {
+        b.iter(|| {
+            black_box(sa::search(
+                &problem,
+                &sa::SaConfig {
+                    steps: 200,
+                    seed: 1,
+                    ..Default::default()
+                },
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion bench for the Figure 9/10/12 machinery: one full-system run
+//! per scheme on a small workload (the unit of work behind every bar in
+//! those figures).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use equinox_core::{EquiNoxDesign, SchemeKind, System, SystemConfig};
+use equinox_traffic::{profile::benchmark, Workload};
+use std::hint::black_box;
+use std::sync::OnceLock;
+
+fn design() -> &'static EquiNoxDesign {
+    static D: OnceLock<EquiNoxDesign> = OnceLock::new();
+    D.get_or_init(|| EquiNoxDesign::search_k(8, 8, 300, 7, 2))
+}
+
+fn run(scheme: SchemeKind) -> u64 {
+    let w = Workload::new(benchmark("hotspot").unwrap(), 0.05, 42);
+    let mut cfg = SystemConfig::new(scheme, 8, w);
+    if scheme == SchemeKind::EquiNox {
+        cfg.design = Some(design().clone());
+    }
+    System::build(cfg).run().cycles
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig9_scheme_run");
+    g.sample_size(10);
+    for scheme in [
+        SchemeKind::SingleBase,
+        SchemeKind::SeparateBase,
+        SchemeKind::InterposerCMesh,
+        SchemeKind::MultiPort,
+        SchemeKind::EquiNox,
+    ] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(scheme.name()),
+            &scheme,
+            |b, &s| b.iter(|| black_box(run(s))),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Criterion bench: raw simulator speed — cycles per second of an 8×8
+//! mesh under saturating few-to-many reply traffic (the regime every
+//! figure-9 run spends its time in).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use equinox_noc::config::NocConfig;
+use equinox_noc::flit::{Flit, MessageClass, PacketDesc};
+use equinox_noc::network::Network;
+use equinox_phys::Coord;
+use equinox_placement::Placement;
+use std::hint::black_box;
+
+fn run_cycles(cycles: u64) -> u64 {
+    let p = Placement::diamond(8, 8, 8);
+    let mut net = Network::mesh(NocConfig::mesh(8));
+    let pes: Vec<Coord> = p.pe_tiles().collect();
+    let mut pending: Vec<Vec<Flit>> = vec![Vec::new(); 8];
+    let mut id = 0u64;
+    let mut ejected = 0u64;
+    for t in 0..cycles {
+        for (ci, &cb) in p.cbs.iter().enumerate() {
+            if pending[ci].is_empty() {
+                let dst = pes[(ci * 13 + t as usize * 7) % pes.len()];
+                let mut fl = PacketDesc::new(id, cb, dst, MessageClass::Reply, 5).flits(8);
+                id += 1;
+                fl.reverse();
+                pending[ci] = fl;
+            }
+            if let Some(&f) = pending[ci].last() {
+                let inj = net.local_injector(cb);
+                if net.try_inject_flit(inj, f) {
+                    pending[ci].pop();
+                }
+            }
+        }
+        net.step();
+        for &pe in &pes {
+            while net.pop_ejected_node(pe).is_some() {
+                ejected += 1;
+            }
+        }
+    }
+    ejected
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("noc_throughput");
+    let cycles = 2_000u64;
+    g.throughput(Throughput::Elements(cycles));
+    g.bench_function("mesh8x8_saturated_cycles", |b| {
+        b.iter(|| black_box(run_cycles(black_box(cycles))))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Criterion bench for the substrate layers: HBM stack throughput,
+//! N-Queen enumeration + scoring, and the EIR evaluation function (the
+//! inner loop of every search).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use equinox_hbm::{HbmConfig, HbmStack, MemAccess};
+use equinox_mcts::eval::{evaluate, EvalWeights};
+use equinox_mcts::problem::EirProblem;
+use equinox_placement::nqueen::{solutions, to_placement};
+use equinox_placement::select::best_nqueen_placement;
+use equinox_placement::PlacementScorer;
+use std::hint::black_box;
+
+fn hbm_run(accesses: u64) -> u64 {
+    let mut s = HbmStack::new(HbmConfig::hbm2());
+    let mut submitted = 0u64;
+    let mut done = 0u64;
+    let mut t = 0u64;
+    while done < accesses {
+        while submitted < accesses
+            && s.enqueue(
+                MemAccess {
+                    id: submitted,
+                    addr: submitted * 64,
+                    write: false,
+                },
+                t,
+            )
+            .is_ok()
+        {
+            submitted += 1;
+        }
+        s.step(t);
+        while s.pop_completed().is_some() {
+            done += 1;
+        }
+        t += 1;
+    }
+    t
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("substrates");
+    g.sample_size(10);
+
+    g.throughput(Throughput::Elements(4_000));
+    g.bench_function("hbm_stack_4000_accesses", |b| {
+        b.iter(|| black_box(hbm_run(4_000)))
+    });
+
+    g.throughput(Throughput::Elements(92));
+    g.bench_function("nqueen_enumerate_and_score_8x8", |b| {
+        b.iter(|| {
+            let scorer = PlacementScorer::new(8, 8);
+            let best = solutions(8)
+                .iter()
+                .map(|s| scorer.penalty(&to_placement(8, s, None).cbs))
+                .min();
+            black_box(best)
+        })
+    });
+
+    let problem = EirProblem::new(best_nqueen_placement(8, 8, usize::MAX, 0));
+    let mut rng = EirProblem::rng(1);
+    let sel = problem.random_completion(&[], &mut rng);
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("eir_evaluation_fn", |b| {
+        b.iter(|| black_box(evaluate(&problem, &sel, &EvalWeights::default()).cost))
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! `designer` — run the EquiNox design pipeline and save the result.
+//!
+//! ```text
+//! designer [--n 8] [--cbs 8] [--iters 4000] [--seed 7] [--out design.txt] [--svg design.svg]
+//! ```
+//!
+//! Searches the N-Queen placement + MCTS EIR selection for the requested
+//! mesh, prints the design summary, and optionally writes the stable text
+//! format (reload with `EquiNoxDesign::from_text`) and an SVG wiring
+//! diagram.
+
+use equinox_core::svg::design_svg;
+use equinox_core::EquiNoxDesign;
+use equinox_phys::segment::count_crossings;
+
+fn arg<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> T {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn arg_opt(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let n: u16 = arg(&args, "--n", 8);
+    let cbs: u16 = arg(&args, "--cbs", 8);
+    let iters: usize = arg(&args, "--iters", 4_000);
+    let seed: u64 = arg(&args, "--seed", 7);
+
+    eprintln!("searching: {n}x{n} mesh, {cbs} CBs, {iters} MCTS iterations, seed {seed}…");
+    let start = std::time::Instant::now();
+    let design = EquiNoxDesign::search(n, cbs, iters, seed);
+    eprintln!("search took {:.1?}", start.elapsed());
+
+    println!("{}", design.render());
+    println!(
+        "links {} | crossings {} | RDL layers {} | ubumps {}",
+        design.num_links(),
+        count_crossings(&design.segments()),
+        design.rdl_layers(),
+        design.ubump_count(128)
+    );
+
+    if let Some(path) = arg_opt(&args, "--out") {
+        std::fs::write(&path, design.to_text()).expect("write design file");
+        println!("wrote {path}");
+    }
+    if let Some(path) = arg_opt(&args, "--svg") {
+        std::fs::write(&path, design_svg(&design)).expect("write svg");
+        println!("wrote {path}");
+    }
+}

@@ -1,0 +1,8 @@
+use equinox_bench::run_seeds;
+use equinox_core::SchemeKind;
+fn main() {
+    for s in [SchemeKind::SeparateBase, SchemeKind::Da2Mesh] {
+        let m = run_seeds(s, 8, "kmeans", 0.5, &[42, 7]);
+        println!("{} {}", s.name(), m.cycles);
+    }
+}

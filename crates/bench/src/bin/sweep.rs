@@ -1,0 +1,55 @@
+//! `sweep` — reply-network load–latency curves as CSV.
+//!
+//! ```text
+//! sweep [--n 8] [--cycles 6000] [--out curve.csv]
+//! ```
+//!
+//! Emits `offered,baseline_latency,baseline_throughput,equinox_latency,
+//! equinox_throughput` rows, ready for plotting.
+
+use equinox_core::loadlat::{load_latency_curve, ReplySide};
+use equinox_core::EquiNoxDesign;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let get = |name: &str, default: u64| -> u64 {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    };
+    let n = get("--n", 8) as u16;
+    let cycles = get("--cycles", 6_000);
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+
+    let design = EquiNoxDesign::search(n, 8, 1_500, 7);
+    let rates: Vec<f64> = (1..=20).map(|i| i as f64 / 20.0).collect();
+    let base = load_latency_curve(&design.placement, &ReplySide::Local, &rates, cycles, 1);
+    let eq = load_latency_curve(
+        &design.placement,
+        &ReplySide::Equinox(design.clone()),
+        &rates,
+        cycles,
+        1,
+    );
+    let mut csv =
+        String::from("offered,baseline_latency,baseline_throughput,equinox_latency,equinox_throughput\n");
+    for (b, e) in base.iter().zip(&eq) {
+        csv.push_str(&format!(
+            "{:.2},{:.2},{:.3},{:.2},{:.3}\n",
+            b.offered, b.latency, b.throughput, e.latency, e.throughput
+        ));
+    }
+    match out {
+        Some(path) => {
+            std::fs::write(&path, &csv).expect("write csv");
+            eprintln!("wrote {path}");
+        }
+        None => print!("{csv}"),
+    }
+}

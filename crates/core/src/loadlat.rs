@@ -1,0 +1,198 @@
+//! Load–latency curves for the reply network.
+//!
+//! The classic NoC characterization: sweep the offered injection rate at
+//! the CBs and measure average packet latency. The curve's knee is the
+//! saturation point of the few-to-many injection path — the quantity
+//! EquiNox's EIRs push to the right. Used by the `load_latency` example
+//! and the saturation validation tests.
+
+use equinox_noc::config::NocConfig;
+use equinox_noc::flit::{Flit, MessageClass};
+use equinox_noc::link::LinkKind;
+use equinox_noc::network::{InjectorId, Network};
+use equinox_phys::Coord;
+use equinox_placement::Placement;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::collections::HashMap;
+
+use crate::design::EquiNoxDesign;
+use crate::msg::{MemOpKind, PacketTracker};
+use crate::ni::{InjectPolicy, InjectionQueue};
+
+/// One measured point of the curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoadPoint {
+    /// Offered load, reply packets per CB per cycle.
+    pub offered: f64,
+    /// Accepted throughput, reply flits per cycle (whole network).
+    pub throughput: f64,
+    /// Mean packet latency in cycles (creation to tail ejection).
+    pub latency: f64,
+}
+
+/// The CB-side injection structure to sweep.
+#[derive(Debug, Clone)]
+pub enum ReplySide {
+    /// One local injection buffer per CB (the separate-network baseline).
+    Local,
+    /// An EquiNox design: local buffer + one buffer per EIR with the
+    /// Buffer Selection 1 policy.
+    Equinox(EquiNoxDesign),
+}
+
+/// Sweeps `offered` reply loads (packets per CB per cycle) on the reply
+/// network alone and returns one [`LoadPoint`] per rate. Deterministic in
+/// `seed`.
+///
+/// # Panics
+///
+/// Panics if `placement` is not square or an offered rate is not in
+/// `(0, 1]`.
+pub fn load_latency_curve(
+    placement: &Placement,
+    side: &ReplySide,
+    offered: &[f64],
+    cycles: u64,
+    seed: u64,
+) -> Vec<LoadPoint> {
+    assert_eq!(placement.width, placement.height, "square meshes only");
+    offered
+        .iter()
+        .map(|&rate| {
+            assert!(rate > 0.0 && rate <= 1.0, "offered rate {rate} out of (0,1]");
+            measure(placement, side, rate, cycles, seed)
+        })
+        .collect()
+}
+
+fn measure(
+    placement: &Placement,
+    side: &ReplySide,
+    offered: f64,
+    cycles: u64,
+    seed: u64,
+) -> LoadPoint {
+    let n = placement.width;
+    let mut net = Network::mesh(NocConfig::mesh(n));
+    let mut tracker = PacketTracker::new();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pes: Vec<Coord> = placement.pe_tiles().collect();
+
+    // Build the CB-side NIs.
+    let mut nis: Vec<InjectionQueue> = placement
+        .cbs
+        .iter()
+        .enumerate()
+        .map(|(ci, &cb)| {
+            let policy = match side {
+                ReplySide::Local => InjectPolicy::Local { net: 0 },
+                ReplySide::Equinox(design) => {
+                    let eirs: Vec<(Coord, InjectorId)> = design.selection.groups[ci]
+                        .iter()
+                        .map(|&e| (e, net.add_injection_port(e, 1, LinkKind::Interposer)))
+                        .collect();
+                    InjectPolicy::Equinox {
+                        net: 0,
+                        local: net.local_injector(cb),
+                        eirs,
+                        rr: 0,
+                    }
+                }
+            };
+            InjectionQueue::new(cb, 16, policy)
+        })
+        .collect();
+
+    let warmup = cycles / 5;
+    let mut done_lat: Vec<u64> = Vec::new();
+    let mut ejected_flits = 0u64;
+    let mut created: HashMap<u64, u64> = HashMap::new();
+    let mut nets = vec![net];
+    for t in 0..(cycles + warmup) {
+        for (ci, &cb) in placement.cbs.iter().enumerate() {
+            if nis[ci].can_accept() && rng.random::<f64>() < offered {
+                let dst = pes[rng.random_range(0..pes.len())];
+                let msg = tracker.create(cb, dst, MessageClass::Reply, MemOpKind::Read, 0, t);
+                created.insert(msg.id, t);
+                nis[ci].push(msg);
+            }
+            nis[ci].tick(&mut nets, &mut tracker, t);
+        }
+        nets[0].step();
+        for &pe in &pes {
+            while let Some(f) = sink(&mut nets[0], pe) {
+                if t >= warmup {
+                    ejected_flits += 1;
+                }
+                if f.is_tail() {
+                    if let Some(&c) = created.get(&f.pkt.0) {
+                        if c >= warmup {
+                            done_lat.push(t - c);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let latency = if done_lat.is_empty() {
+        f64::INFINITY
+    } else {
+        done_lat.iter().sum::<u64>() as f64 / done_lat.len() as f64
+    };
+    LoadPoint {
+        offered,
+        throughput: ejected_flits as f64 / cycles as f64,
+        latency,
+    }
+}
+
+fn sink(net: &mut Network, pe: Coord) -> Option<Flit> {
+    net.pop_ejected_node(pe)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use equinox_placement::Placement;
+
+    #[test]
+    fn latency_grows_with_load() {
+        let p = Placement::diamond(8, 8, 8);
+        let pts = load_latency_curve(&p, &ReplySide::Local, &[0.05, 0.5], 3_000, 1);
+        assert!(pts[0].latency < pts[1].latency, "{pts:?}");
+        assert!(pts[1].throughput > pts[0].throughput);
+    }
+
+    #[test]
+    fn equinox_extends_saturation_throughput() {
+        let design = EquiNoxDesign::quick(8, 8);
+        let base = load_latency_curve(
+            &design.placement,
+            &ReplySide::Local,
+            &[1.0],
+            4_000,
+            2,
+        );
+        let eq = load_latency_curve(
+            &design.placement,
+            &ReplySide::Equinox(design.clone()),
+            &[1.0],
+            4_000,
+            2,
+        );
+        assert!(
+            eq[0].throughput > 1.4 * base[0].throughput,
+            "EquiNox {} vs local {} flits/cycle",
+            eq[0].throughput,
+            base[0].throughput
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of (0,1]")]
+    fn rejects_bad_rates() {
+        let p = Placement::diamond(8, 8, 8);
+        let _ = load_latency_curve(&p, &ReplySide::Local, &[1.5], 100, 1);
+    }
+}

@@ -1,0 +1,559 @@
+//! Network interfaces and injection policies.
+//!
+//! Every traffic source (a PE's request side, a CB's reply side) owns an
+//! [`InjectionQueue`]: a bounded message queue plus the in-flight packet
+//! being serialized one flit per cycle. What distinguishes the seven
+//! schemes is the [`InjectPolicy`] that picks *which network and which
+//! injector* a new packet claims:
+//!
+//! * [`InjectPolicy::Local`] — the node's local injector (baselines);
+//! * [`InjectPolicy::CmeshSplit`] — far packets detour through the
+//!   concentrated interposer mesh (Interposer-CMesh);
+//! * [`InjectPolicy::SubnetRoundRobin`] — reply subnets chosen round-robin
+//!   (DA2Mesh);
+//! * [`InjectPolicy::MultiInjector`] — any free port of the CB router
+//!   (MultiPort);
+//! * [`InjectPolicy::Equinox`] — the Buffer Selector of Figure 8,
+//!   implementing the paper's *Buffer Selection 1* policy: shortest-path
+//!   EIRs only, round-robin between the up-to-two quadrant candidates,
+//!   local-router fallback, retry otherwise.
+
+use crate::msg::{Message, PacketTracker};
+use equinox_noc::flit::Flit;
+use equinox_noc::network::{InjectorId, Network};
+use equinox_phys::Coord;
+use std::collections::VecDeque;
+
+/// Scheme-specific choice of network + injector for each new packet.
+#[derive(Debug)]
+pub enum InjectPolicy {
+    /// Inject at the node's local router of network `net`.
+    Local {
+        /// Index into the system's network list.
+        net: usize,
+    },
+    /// Interposer-CMesh: use the concentrated mesh when the base-mesh
+    /// distance exceeds `threshold` hops and the endpoints sit under
+    /// different CMesh routers; otherwise the base mesh.
+    CmeshSplit {
+        /// Base network index.
+        base: usize,
+        /// CMesh network index.
+        cmesh: usize,
+        /// This node's injector on its CMesh router.
+        cmesh_injector: InjectorId,
+        /// Concentration factor (2 = 2×2 tiles per CMesh router).
+        concentration: u16,
+        /// Minimum base-mesh hop distance to prefer the CMesh.
+        threshold: u32,
+    },
+    /// DA2Mesh: each packet fully travels one narrow subnet, chosen
+    /// round-robin.
+    SubnetRoundRobin {
+        /// Subnet network indices.
+        nets: Vec<usize>,
+        /// Round-robin cursor.
+        rr: usize,
+    },
+    /// MultiPort: several injectors on the same (CB) router.
+    MultiInjector {
+        /// Network index.
+        net: usize,
+        /// The CB router's injection ports.
+        injectors: Vec<InjectorId>,
+        /// Round-robin cursor.
+        rr: usize,
+    },
+    /// EquiNox CB NI: local buffer + one buffer per EIR (Figure 8).
+    Equinox {
+        /// Reply network index.
+        net: usize,
+        /// The local router's injector.
+        local: InjectorId,
+        /// The EIRs of this CB with their interposer injectors.
+        eirs: Vec<(Coord, InjectorId)>,
+        /// Round-robin cursor for two-candidate quadrant cases.
+        rr: usize,
+    },
+}
+
+/// A packet being pushed into a network, one flit per cycle.
+#[derive(Debug)]
+struct Inflight {
+    flits: Vec<Flit>,
+    next: usize,
+    net: usize,
+    injector: InjectorId,
+}
+
+/// A bounded source queue feeding one injection policy.
+///
+/// The queue streams **one packet per injection buffer concurrently**:
+/// a baseline NI has a single buffer, but EquiNox's CB NI drains its five
+/// single-packet buffers in parallel (Figure 8) and MultiPort its four —
+/// that parallel drain is precisely the injection-bandwidth multiplication
+/// these schemes buy.
+#[derive(Debug)]
+pub struct InjectionQueue {
+    node: Coord,
+    queue: VecDeque<Message>,
+    cap: usize,
+    inflight: Vec<Inflight>,
+    policy: InjectPolicy,
+}
+
+impl InjectionQueue {
+    /// Creates a queue holding up to `cap` waiting messages.
+    pub fn new(node: Coord, cap: usize, policy: InjectPolicy) -> Self {
+        assert!(cap > 0, "queues need capacity");
+        InjectionQueue {
+            node,
+            queue: VecDeque::new(),
+            cap,
+            inflight: Vec::new(),
+            policy,
+        }
+    }
+
+    /// `true` if another message fits.
+    pub fn can_accept(&self) -> bool {
+        self.queue.len() < self.cap
+    }
+
+    /// Enqueues a message.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue is full; check [`InjectionQueue::can_accept`].
+    pub fn push(&mut self, msg: Message) {
+        assert!(self.can_accept(), "injection queue overflow at {}", self.node);
+        self.queue.push_back(msg);
+    }
+
+    /// Messages waiting plus packets in flight.
+    pub fn backlog(&self) -> usize {
+        self.queue.len() + self.inflight.len()
+    }
+
+    /// `true` when nothing is queued or in flight.
+    pub fn is_idle(&self) -> bool {
+        self.queue.is_empty() && self.inflight.is_empty()
+    }
+
+    /// One cycle: advance every in-flight packet by one flit (each claims
+    /// its own injection buffer, so they stream in parallel), then claim
+    /// free injectors for queued messages per the policy.
+    pub fn tick(&mut self, nets: &mut [Network], tracker: &mut PacketTracker, now: u64) {
+        for fl in &mut self.inflight {
+            if fl.next < fl.flits.len() {
+                let flit = fl.flits[fl.next];
+                if nets[fl.net].try_inject_flit(fl.injector, flit) {
+                    if fl.next == 0 {
+                        tracker.mark_injected(flit.pkt.0, now);
+                    }
+                    fl.next += 1;
+                }
+            }
+        }
+        self.inflight.retain(|fl| fl.next < fl.flits.len());
+        // Start as many new packets as the policy finds free buffers for.
+        while let Some(&msg) = self.queue.front() {
+            let Some((net, injector, src, dst, sink)) = self.choose(nets, &msg) else {
+                break;
+            };
+            let bits = nets[net].config().link_bits;
+            let desc = msg.to_desc(bits, src, dst);
+            let flits: Vec<Flit> = desc
+                .flits(nets[net].width())
+                .into_iter()
+                .map(|f| f.with_sink(sink))
+                .collect();
+            self.queue.pop_front();
+            let mut fl = Inflight {
+                flits,
+                next: 0,
+                net,
+                injector,
+            };
+            // Push the head flit immediately: the injector reserves its
+            // VC, so a second message cannot claim the same buffer.
+            let head = fl.flits[0];
+            if nets[net].try_inject_flit(injector, head) {
+                tracker.mark_injected(head.pkt.0, now);
+                fl.next = 1;
+            }
+            let finished = fl.next == fl.flits.len();
+            if !finished {
+                self.inflight.push(fl);
+            }
+        }
+    }
+
+    /// Applies the policy: returns `(net, injector, src, dst, sink)` for
+    /// the message, or `None` to retry next cycle.
+    fn choose(
+        &mut self,
+        nets: &[Network],
+        msg: &Message,
+    ) -> Option<(usize, InjectorId, Coord, Coord, u32)> {
+        let node = self.node;
+        match &mut self.policy {
+            InjectPolicy::Local { net } => {
+                let n = *net;
+                let inj = nets[n].local_injector(node);
+                nets[n]
+                    .injector_ready(inj, msg.class)
+                    .then(|| (n, inj, msg.src, msg.dst, msg.dst.to_index(nets[n].width()) as u32))
+            }
+            InjectPolicy::CmeshSplit {
+                base,
+                cmesh,
+                cmesh_injector,
+                concentration,
+                threshold,
+            } => {
+                let c = *concentration;
+                let csrc = Coord::new(msg.src.x / c, msg.src.y / c);
+                let cdst = Coord::new(msg.dst.x / c, msg.dst.y / c);
+                let far = msg.src.manhattan(msg.dst) > *threshold && csrc != cdst;
+                if far && nets[*cmesh].injector_ready(*cmesh_injector, msg.class) {
+                    // Sink = base-mesh node index, matched by the tagged
+                    // ejection port on the destination's CMesh router.
+                    let sink = msg.dst.to_index(nets[*base].width()) as u32;
+                    Some((*cmesh, *cmesh_injector, csrc, cdst, sink))
+                } else {
+                    let n = *base;
+                    let inj = nets[n].local_injector(node);
+                    nets[n].injector_ready(inj, msg.class).then(|| {
+                        (n, inj, msg.src, msg.dst, msg.dst.to_index(nets[n].width()) as u32)
+                    })
+                }
+            }
+            InjectPolicy::SubnetRoundRobin { nets: subnets, rr } => {
+                for k in 0..subnets.len() {
+                    let n = subnets[(*rr + k) % subnets.len()];
+                    let inj = nets[n].local_injector(node);
+                    if nets[n].injector_ready(inj, msg.class) {
+                        *rr = (*rr + k + 1) % subnets.len();
+                        let sink = msg.dst.to_index(nets[n].width()) as u32;
+                        return Some((n, inj, msg.src, msg.dst, sink));
+                    }
+                }
+                None
+            }
+            InjectPolicy::MultiInjector { net, injectors, rr } => {
+                let n = *net;
+                for k in 0..injectors.len() {
+                    let inj = injectors[(*rr + k) % injectors.len()];
+                    if nets[n].injector_ready(inj, msg.class) {
+                        *rr = (*rr + k + 1) % injectors.len();
+                        let sink = msg.dst.to_index(nets[n].width()) as u32;
+                        return Some((n, inj, msg.src, msg.dst, sink));
+                    }
+                }
+                None
+            }
+            InjectPolicy::Equinox {
+                net,
+                local,
+                eirs,
+                rr,
+            } => {
+                let n = *net;
+                let sink = msg.dst.to_index(nets[n].width()) as u32;
+                // Buffer Selection 1: only EIRs on a shortest path.
+                let direct = msg.src.manhattan(msg.dst);
+                let shortest: Vec<&(Coord, InjectorId)> = eirs
+                    .iter()
+                    .filter(|(e, _)| msg.src.manhattan(*e) + e.manhattan(msg.dst) == direct)
+                    .collect();
+                let dx = msg.dst.x as i32 - msg.src.x as i32;
+                let dy = msg.dst.y as i32 - msg.src.y as i32;
+                debug_assert!(dx != 0 || dy != 0, "CB does not message itself");
+                if dx == 0 || dy == 0 {
+                    // On-axis: at most one shortest-path EIR exists.
+                    if let Some(&&(_, inj)) = shortest.first() {
+                        if nets[n].injector_ready(inj, msg.class) {
+                            return Some((n, inj, msg.src, msg.dst, sink));
+                        }
+                    }
+                } else {
+                    // Quadrant: up to two candidates, round-robin.
+                    let m = shortest.len();
+                    for k in 0..m {
+                        let (_, inj) = *shortest[(*rr + k) % m];
+                        if nets[n].injector_ready(inj, msg.class) {
+                            *rr = (*rr + k + 1) % m.max(1);
+                            return Some((n, inj, msg.src, msg.dst, sink));
+                        }
+                    }
+                }
+                // Fall back to the local buffer; otherwise retry.
+                nets[n]
+                    .injector_ready(*local, msg.class)
+                    .then_some((n, *local, msg.src, msg.dst, sink))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::msg::MemOpKind;
+    use equinox_noc::config::NocConfig;
+    use equinox_noc::flit::MessageClass;
+    use equinox_noc::link::LinkKind;
+
+    fn setup() -> (Vec<Network>, PacketTracker) {
+        (vec![Network::mesh(NocConfig::mesh_8x8())], PacketTracker::new())
+    }
+
+    #[test]
+    fn local_policy_delivers() {
+        let (mut nets, mut tracker) = setup();
+        let src = Coord::new(0, 0);
+        let dst = Coord::new(3, 3);
+        let msg = tracker.create(src, dst, MessageClass::Reply, MemOpKind::Read, 0, 0);
+        let mut ni = InjectionQueue::new(src, 4, InjectPolicy::Local { net: 0 });
+        ni.push(msg);
+        let mut tail = false;
+        for t in 0..200 {
+            ni.tick(&mut nets, &mut tracker, t);
+            nets[0].step();
+            while let Some(f) = nets[0].pop_ejected_node(dst) {
+                if f.is_tail() {
+                    tail = true;
+                }
+            }
+        }
+        assert!(tail, "5-flit reply must arrive");
+        assert!(ni.is_idle());
+        assert!(tracker.record(msg.id).injected.is_some());
+    }
+
+    #[test]
+    fn queue_capacity_respected() {
+        let (_, mut tracker) = setup();
+        let src = Coord::new(0, 0);
+        let mut ni = InjectionQueue::new(src, 2, InjectPolicy::Local { net: 0 });
+        for _ in 0..2 {
+            let m = tracker.create(src, Coord::new(1, 1), MessageClass::Request, MemOpKind::Read, 0, 0);
+            assert!(ni.can_accept());
+            ni.push(m);
+        }
+        assert!(!ni.can_accept());
+        assert_eq!(ni.backlog(), 2);
+    }
+
+    #[test]
+    fn equinox_policy_prefers_shortest_path_eir() {
+        let mut nets = vec![Network::mesh(NocConfig::mesh_8x8())];
+        let mut tracker = PacketTracker::new();
+        let cb = Coord::new(2, 2);
+        // EIR east at (4,2), EIR west at (0,2).
+        let east = nets[0].add_injection_port(Coord::new(4, 2), 1, LinkKind::Interposer);
+        let west = nets[0].add_injection_port(Coord::new(0, 2), 1, LinkKind::Interposer);
+        let local = nets[0].local_injector(cb);
+        let mut ni = InjectionQueue::new(
+            cb,
+            4,
+            InjectPolicy::Equinox {
+                net: 0,
+                local,
+                eirs: vec![(Coord::new(4, 2), east), (Coord::new(0, 2), west)],
+                rr: 0,
+            },
+        );
+        // Destination due east: the east EIR is on the shortest path.
+        let msg = tracker.create(cb, Coord::new(7, 2), MessageClass::Reply, MemOpKind::Read, 0, 0);
+        ni.push(msg);
+        for t in 0..100 {
+            ni.tick(&mut nets, &mut tracker, t);
+            nets[0].step();
+            while nets[0].pop_ejected_node(Coord::new(7, 2)).is_some() {}
+        }
+        assert!(
+            nets[0].stats().link_flits_interposer >= 5,
+            "packet must ride the east EIR interposer link"
+        );
+    }
+
+    #[test]
+    fn equinox_policy_falls_back_to_local_when_no_sp_eir() {
+        let mut nets = vec![Network::mesh(NocConfig::mesh_8x8())];
+        let mut tracker = PacketTracker::new();
+        let cb = Coord::new(2, 2);
+        let east = nets[0].add_injection_port(Coord::new(4, 2), 1, LinkKind::Interposer);
+        let local = nets[0].local_injector(cb);
+        let mut ni = InjectionQueue::new(
+            cb,
+            4,
+            InjectPolicy::Equinox {
+                net: 0,
+                local,
+                eirs: vec![(Coord::new(4, 2), east)],
+                rr: 0,
+            },
+        );
+        // Destination due WEST: the east EIR is not on a shortest path.
+        let msg = tracker.create(cb, Coord::new(0, 2), MessageClass::Reply, MemOpKind::Read, 0, 0);
+        ni.push(msg);
+        let mut tail = false;
+        for t in 0..100 {
+            ni.tick(&mut nets, &mut tracker, t);
+            nets[0].step();
+            while let Some(f) = nets[0].pop_ejected_node(Coord::new(0, 2)) {
+                if f.is_tail() {
+                    tail = true;
+                }
+            }
+        }
+        assert!(tail);
+        assert_eq!(
+            nets[0].stats().link_flits_interposer, 0,
+            "no detour through the east EIR"
+        );
+    }
+
+    #[test]
+    fn subnet_round_robin_spreads_packets() {
+        let mut cfg = NocConfig::mesh(4);
+        cfg.link_bits = 16;
+        cfg.vc_buf_flits = 40;
+        let mut nets = vec![Network::mesh(cfg.clone()), Network::mesh(cfg)];
+        let mut tracker = PacketTracker::new();
+        let src = Coord::new(0, 0);
+        let mut ni = InjectionQueue::new(
+            src,
+            8,
+            InjectPolicy::SubnetRoundRobin {
+                nets: vec![0, 1],
+                rr: 0,
+            },
+        );
+        for _ in 0..2 {
+            let m = tracker.create(src, Coord::new(3, 3), MessageClass::Reply, MemOpKind::Read, 0, 0);
+            ni.push(m);
+        }
+        for t in 0..400 {
+            ni.tick(&mut nets, &mut tracker, t);
+            for n in nets.iter_mut() {
+                n.step();
+                while n.pop_ejected_node(Coord::new(3, 3)).is_some() {}
+            }
+        }
+        assert!(nets[0].stats().injected_flits > 0);
+        assert!(nets[1].stats().injected_flits > 0, "round-robin must use both subnets");
+    }
+
+    #[test]
+    fn multi_injector_streams_packets_in_parallel() {
+        let mut nets = vec![Network::mesh(NocConfig::mesh_8x8())];
+        let mut tracker = PacketTracker::new();
+        let cb = Coord::new(3, 3);
+        let mut injectors = vec![nets[0].local_injector(cb)];
+        for _ in 0..3 {
+            injectors.push(nets[0].add_injection_port(cb, 1, LinkKind::NiLocal));
+        }
+        let mut ni = InjectionQueue::new(
+            cb,
+            8,
+            InjectPolicy::MultiInjector {
+                net: 0,
+                injectors,
+                rr: 0,
+            },
+        );
+        for k in 0..4 {
+            let dst = Coord::new(7, k);
+            let m = tracker.create(cb, dst, MessageClass::Reply, MemOpKind::Read, 0, 0);
+            ni.push(m);
+        }
+        // One tick claims all four buffers at once.
+        ni.tick(&mut nets, &mut tracker, 0);
+        assert_eq!(ni.backlog(), 4, "all four packets in flight");
+        let mut got = 0;
+        for t in 1..400 {
+            ni.tick(&mut nets, &mut tracker, t);
+            nets[0].step();
+            for k in 0..4 {
+                while let Some(f) = nets[0].pop_ejected_node(Coord::new(7, k)) {
+                    if f.is_tail() {
+                        got += 1;
+                    }
+                }
+            }
+        }
+        assert_eq!(got, 4);
+        assert!(ni.is_idle());
+    }
+
+    #[test]
+    fn cmesh_split_routes_far_packets_through_the_cmesh() {
+        // Base 8x8 + a 4x4 concentrated net; a far packet must use the
+        // CMesh, a near one the base mesh.
+        let mut base = Network::mesh(NocConfig::mesh_8x8());
+        let mut ccfg = NocConfig::mesh(4);
+        ccfg.link_bits = 256;
+        ccfg.vc_buf_flits = 3;
+        let mut cmesh = Network::mesh(ccfg);
+        // Tag ejection for the far destination (7,7) = node 63 on its
+        // cmesh router (3,3); neutralize the default tag.
+        for r in 0..16 {
+            cmesh.set_ejection_sink(r, 4, Some(u32::MAX));
+        }
+        let (er, ep) = cmesh.add_ejection_port(Coord::new(3, 3), Some(63));
+        let src = Coord::new(0, 0);
+        let inj = cmesh.add_injection_port(Coord::new(0, 0), 1, LinkKind::Interposer);
+        let mut nets = vec![base, cmesh];
+        let mut tracker = PacketTracker::new();
+        let mut ni = InjectionQueue::new(
+            src,
+            4,
+            InjectPolicy::CmeshSplit {
+                base: 0,
+                cmesh: 1,
+                cmesh_injector: inj,
+                concentration: 2,
+                threshold: 2,
+            },
+        );
+        let far = tracker.create(src, Coord::new(7, 7), MessageClass::Reply, MemOpKind::Read, 0, 0);
+        let near = tracker.create(src, Coord::new(1, 0), MessageClass::Request, MemOpKind::Read, 0, 0);
+        ni.push(far);
+        ni.push(near);
+        let mut far_via_cmesh = false;
+        let mut near_via_base = false;
+        for t in 0..300 {
+            ni.tick(&mut nets, &mut tracker, t);
+            nets[0].step();
+            nets[1].step();
+            while let Some(f) = nets[1].pop_ejected(er, ep) {
+                if f.is_tail() {
+                    far_via_cmesh = true;
+                }
+            }
+            while let Some(f) = nets[0].pop_ejected_node(Coord::new(1, 0)) {
+                if f.is_tail() {
+                    near_via_base = true;
+                }
+            }
+        }
+        assert!(far_via_cmesh, "far packet must ride the concentrated mesh");
+        assert!(near_via_base, "near packet must stay on the base mesh");
+        let _ = &mut nets;
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn push_beyond_capacity_panics() {
+        let (_, mut tracker) = setup();
+        let src = Coord::new(0, 0);
+        let mut ni = InjectionQueue::new(src, 1, InjectPolicy::Local { net: 0 });
+        for _ in 0..2 {
+            let m = tracker.create(src, Coord::new(1, 1), MessageClass::Request, MemOpKind::Read, 0, 0);
+            ni.push(m);
+        }
+    }
+}

@@ -1,0 +1,791 @@
+//! Full-system assembly and simulation: PEs + NIs + networks + CBs + HBM.
+//!
+//! [`System::build`] wires one of the seven schemes (§5); [`System::run`]
+//! advances the whole machine cycle-by-cycle until every PE retires its
+//! instruction quota and receives all replies, then derives the metrics
+//! of §6 (execution time, energy, EDP, latency split, area, µbumps).
+
+use crate::cb::CacheBank;
+use crate::design::EquiNoxDesign;
+use crate::metrics::RunMetrics;
+use crate::msg::{MemOpKind, PacketTracker};
+use crate::ni::{InjectPolicy, InjectionQueue};
+use crate::scheme::SchemeKind;
+use equinox_hbm::HbmConfig;
+use equinox_noc::config::{NocConfig, VcPartition};
+use equinox_noc::flit::MessageClass;
+use equinox_noc::link::LinkKind;
+use equinox_noc::network::Network;
+use equinox_phys::{BumpModel, Coord, WireModel};
+use equinox_placement::Placement;
+use equinox_power::{EnergyModel, EventCounts, NiGeometry, RouterGeometry};
+use equinox_traffic::{Pe, Workload};
+
+/// Build-time parameters of a run.
+#[derive(Debug, Clone)]
+pub struct SystemConfig {
+    /// Which of the seven schemes to build.
+    pub scheme: SchemeKind,
+    /// Mesh size (8, 12 or 16 in the paper).
+    pub n: u16,
+    /// Number of cache banks (Table 1: 8).
+    pub n_cbs: u16,
+    /// The benchmark workload.
+    pub workload: Workload,
+    /// Safety cap on simulated cycles.
+    pub max_cycles: u64,
+    /// Pre-computed EquiNox design (searched on demand if absent).
+    pub design: Option<EquiNoxDesign>,
+    /// Overrides the scheme's default CB placement (Diamond for the six
+    /// baselines) — used by the placement ablation studies.
+    pub placement_override: Option<Placement>,
+    /// NI message-queue capacity.
+    pub ni_queue_cap: usize,
+    /// Maximum requests concurrently inside one CB.
+    pub cb_inflight_cap: usize,
+    /// L2 hit latency in cycles.
+    pub l2_latency: u64,
+    /// HBM stack configuration (one stack per CB).
+    pub hbm: HbmConfig,
+    /// Extra router pipeline stages for every network (0 = the paper's
+    /// aggressive single-cycle router).
+    pub pipeline_extra: u32,
+    /// Probability a read reply travels compressed (the §7 coalescing
+    /// extension; 0 disables it).
+    pub reply_compression: f64,
+}
+
+impl SystemConfig {
+    /// Defaults from Table 1.
+    pub fn new(scheme: SchemeKind, n: u16, workload: Workload) -> Self {
+        SystemConfig {
+            scheme,
+            n,
+            n_cbs: 8,
+            workload,
+            max_cycles: 2_000_000,
+            design: None,
+            placement_override: None,
+            ni_queue_cap: 8,
+            cb_inflight_cap: 128,
+            l2_latency: 20,
+            hbm: HbmConfig::hbm2(),
+            pipeline_extra: 0,
+            reply_compression: 0.0,
+        }
+    }
+}
+
+/// An ejection point to drain: `(net, router, port)`.
+type Sink = (usize, usize, usize);
+
+/// The assembled machine.
+pub struct System {
+    cfg: SystemConfig,
+    /// CB placement in use.
+    pub placement: Placement,
+    nets: Vec<Network>,
+    /// Steps per two core cycles (2 = same clock, 5 = DA2Mesh's 2.5×).
+    steps_per_two: Vec<u32>,
+    step_accum: Vec<u32>,
+    /// Nets whose *mesh* links physically live in the interposer (CMesh).
+    mesh_links_in_rdl: Vec<bool>,
+    /// Average interposer-link length per net, mm (for energy).
+    rdl_link_mm: Vec<f64>,
+    pes: Vec<Option<Pe>>,
+    req_nis: Vec<Option<InjectionQueue>>,
+    cbs: Vec<CacheBank>,
+    rep_nis: Vec<InjectionQueue>,
+    /// Reply sinks per PE node: (sinks, node index).
+    pe_sinks: Vec<(Sink, usize)>,
+    /// Request sinks per CB: (sink, cb index).
+    cb_sinks: Vec<(Sink, usize)>,
+    /// End-to-end packet registry.
+    pub tracker: PacketTracker,
+    cycle: u64,
+    area_mm2: f64,
+    ubumps: usize,
+    total_instrs: u64,
+}
+
+impl System {
+    /// Builds the machine for `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inconsistent configuration (zero sizes etc.).
+    pub fn build(cfg: SystemConfig) -> Self {
+        let n = cfg.n;
+        let scheme = cfg.scheme;
+        let placement = match (&cfg.placement_override, scheme) {
+            (Some(p), _) => p.clone(),
+            (None, SchemeKind::EquiNox) => {
+                let design = cfg
+                    .design
+                    .clone()
+                    .unwrap_or_else(|| EquiNoxDesign::quick(n, cfg.n_cbs));
+                design.placement.clone()
+            }
+            _ => Placement::diamond(n, n, cfg.n_cbs),
+        };
+        let design = match scheme {
+            SchemeKind::EquiNox => Some(
+                cfg.design
+                    .clone()
+                    .unwrap_or_else(|| EquiNoxDesign::quick(n, cfg.n_cbs)),
+            ),
+            _ => None,
+        };
+
+        let pipe = |mut c: NocConfig| {
+            c.pipeline_extra = cfg.pipeline_extra;
+            c
+        };
+        let mut nets: Vec<Network> = Vec::new();
+        let mut steps_per_two: Vec<u32> = Vec::new();
+        let mut mesh_links_in_rdl: Vec<bool> = Vec::new();
+        let mut rdl_link_mm: Vec<f64> = Vec::new();
+        let mut ubumps = 0usize;
+
+        // --- network construction ---
+        match scheme {
+            SchemeKind::SingleBase | SchemeKind::VcMono => {
+                let mono = scheme == SchemeKind::VcMono;
+                nets.push(Network::mesh(pipe(NocConfig::single_net(n, mono))));
+                steps_per_two.push(2);
+                mesh_links_in_rdl.push(false);
+                rdl_link_mm.push(0.0);
+            }
+            SchemeKind::InterposerCMesh => {
+                nets.push(Network::mesh(pipe(NocConfig::single_net(n, false))));
+                let mut ccfg = NocConfig::mesh(n / 2);
+                ccfg.freq_ghz = 1.126 / 2.0;
+                ccfg.link_bits = 256;
+                ccfg.vcs_per_port = 4;
+                ccfg.vc_buf_flits = 3;
+                ccfg.partition = VcPartition::ByClass {
+                    request: 0..2,
+                    reply: 2..4,
+                    mono: false,
+                };
+                nets.push(Network::mesh(pipe(ccfg)));
+                // The CMesh's 10-port 256-bit routers cannot close timing
+                // at the tile clock; the concentrated network runs at half
+                // frequency (same bits/s per link as the base mesh).
+                steps_per_two.extend([2, 1]);
+                mesh_links_in_rdl.extend([false, true]);
+                rdl_link_mm.extend([0.0, 3.0]);
+                // Neutralize the CMesh's own local ejection tags so only
+                // the per-node tagged ports (added below) match.
+                let cn = (n / 2) as usize * (n / 2) as usize;
+                for r in 0..cn {
+                    nets[1].set_ejection_sink(r, 4, Some(u32::MAX));
+                }
+                // 2·n² node↔CMesh uni-directional 256-bit links, one bump
+                // per wire (§6.6's 32,768 for 8×8).
+                ubumps = BumpModel::default().bump_count(2 * n as usize * n as usize, 256, 1);
+            }
+            SchemeKind::SeparateBase | SchemeKind::MultiPort | SchemeKind::EquiNox => {
+                nets.push(Network::mesh(pipe(NocConfig::mesh(n)))); // request
+                nets.push(Network::mesh(pipe(NocConfig::mesh(n)))); // reply
+                steps_per_two.extend([2, 2]);
+                mesh_links_in_rdl.extend([false, false]);
+                rdl_link_mm.extend([0.0, 0.0]);
+            }
+            SchemeKind::Da2Mesh => {
+                nets.push(Network::mesh(pipe(NocConfig::mesh(n)))); // request
+                steps_per_two.push(2);
+                mesh_links_in_rdl.push(false);
+                rdl_link_mm.push(0.0);
+                for _ in 0..8 {
+                    let mut scfg = NocConfig::mesh(n);
+                    scfg.link_bits = 16;
+                    scfg.vc_buf_flits = 40;
+                    // One VC per port: the subnets' routers are "narrower
+                    // and simpler" (the source design's area advantage);
+                    // with a single VC routing degrades to XY.
+                    scfg.vcs_per_port = 1;
+                    scfg.freq_ghz = 1.126 * 2.5;
+                    nets.push(Network::mesh(pipe(scfg)));
+                    steps_per_two.push(5);
+                    mesh_links_in_rdl.push(false);
+                    rdl_link_mm.push(0.0);
+                }
+            }
+        }
+
+        // --- NIs, sinks, per-scheme extras ---
+        let mut pes: Vec<Option<Pe>> = Vec::new();
+        let mut req_nis: Vec<Option<InjectionQueue>> = Vec::new();
+        let mut pe_sinks: Vec<(Sink, usize)> = Vec::new();
+        let mut cb_sinks: Vec<(Sink, usize)> = Vec::new();
+        let mut rep_nis: Vec<InjectionQueue> = Vec::new();
+        let mut cbs: Vec<CacheBank> = Vec::new();
+
+        let req_net = 0usize;
+        let reply_nets: Vec<usize> = match scheme {
+            SchemeKind::SingleBase | SchemeKind::VcMono => vec![0],
+            SchemeKind::InterposerCMesh => vec![0, 1],
+            SchemeKind::SeparateBase | SchemeKind::MultiPort | SchemeKind::EquiNox => vec![1],
+            SchemeKind::Da2Mesh => (1..9).collect(),
+        };
+        let request_nets: Vec<usize> = match scheme {
+            SchemeKind::InterposerCMesh => vec![0, 1],
+            _ => vec![req_net],
+        };
+
+        // Per-node CMesh handles (Interposer-CMesh only).
+        let conc = 2u16;
+        let mut cmesh_inj = Vec::new();
+        let mut cmesh_ej = Vec::new();
+        if scheme == SchemeKind::InterposerCMesh {
+            for idx in 0..(n as usize * n as usize) {
+                let node = Coord::from_index(idx, n);
+                let cnode = Coord::new(node.x / conc, node.y / conc);
+                cmesh_inj.push(nets[1].add_injection_port(cnode, 1, LinkKind::Interposer));
+                cmesh_ej.push(nets[1].add_ejection_port(cnode, Some(idx as u32)));
+            }
+        }
+
+        // PEs and their request NIs.
+        let mut pe_count = 0usize;
+        for idx in 0..(n as usize * n as usize) {
+            let node = Coord::from_index(idx, n);
+            if placement.is_cb(node) {
+                pes.push(None);
+                req_nis.push(None);
+                continue;
+            }
+            let pe = Pe::new(
+                cfg.workload.profile,
+                pe_count,
+                cfg.workload.scale,
+                cfg.workload.mshrs,
+                cfg.workload.seed,
+            );
+            let pe = match cfg.workload.phase_len {
+                Some(len) => pe.with_phases(len),
+                None => pe,
+            };
+            pe_count += 1;
+            pes.push(Some(pe));
+            let policy = match scheme {
+                SchemeKind::InterposerCMesh => InjectPolicy::CmeshSplit {
+                    base: 0,
+                    cmesh: 1,
+                    cmesh_injector: cmesh_inj[idx],
+                    concentration: conc,
+                    threshold: 2,
+                },
+                _ => InjectPolicy::Local { net: req_net },
+            };
+            req_nis.push(Some(InjectionQueue::new(node, cfg.ni_queue_cap, policy)));
+            // Reply sinks for this PE.
+            for &rn in &reply_nets {
+                if scheme == SchemeKind::InterposerCMesh && rn == 1 {
+                    let (r, p) = cmesh_ej[idx];
+                    pe_sinks.push(((1, r, p), idx));
+                } else {
+                    pe_sinks.push(((rn, idx, 4), idx));
+                }
+            }
+        }
+
+        // CBs, their reply NIs, and request sinks.
+        for (ci, &cb_node) in placement.cbs.iter().enumerate() {
+            let idx = cb_node.to_index(n);
+            let policy = match scheme {
+                SchemeKind::SingleBase | SchemeKind::VcMono => InjectPolicy::Local { net: 0 },
+                SchemeKind::InterposerCMesh => InjectPolicy::CmeshSplit {
+                    base: 0,
+                    cmesh: 1,
+                    cmesh_injector: cmesh_inj[idx],
+                    concentration: conc,
+                    threshold: 2,
+                },
+                SchemeKind::SeparateBase => InjectPolicy::Local { net: 1 },
+                SchemeKind::Da2Mesh => InjectPolicy::SubnetRoundRobin {
+                    nets: (1..9).collect(),
+                    rr: ci,
+                },
+                SchemeKind::MultiPort => {
+                    let mut injectors = vec![nets[1].local_injector(cb_node)];
+                    for _ in 0..3 {
+                        injectors.push(nets[1].add_injection_port(cb_node, 1, LinkKind::NiLocal));
+                    }
+                    InjectPolicy::MultiInjector {
+                        net: 1,
+                        injectors,
+                        rr: 0,
+                    }
+                }
+                SchemeKind::EquiNox => {
+                    let d = design.as_ref().expect("EquiNox has a design");
+                    let eirs = d.selection.groups[ci]
+                        .iter()
+                        .map(|&e| (e, nets[1].add_injection_port(e, 1, LinkKind::Interposer)))
+                        .collect();
+                    InjectPolicy::Equinox {
+                        net: 1,
+                        local: nets[1].local_injector(cb_node),
+                        eirs,
+                        rr: 0,
+                    }
+                }
+            };
+            rep_nis.push(InjectionQueue::new(cb_node, cfg.ni_queue_cap, policy));
+            let mut bank = CacheBank::new(
+                cb_node,
+                placement.cbs.len() as u64,
+                cfg.workload.profile.l2_hit,
+                cfg.l2_latency,
+                cfg.hbm,
+                cfg.cb_inflight_cap,
+                cfg.workload.seed.wrapping_add(ci as u64),
+            );
+            if cfg.reply_compression > 0.0 {
+                bank.set_compression(cfg.reply_compression);
+            }
+            cbs.push(bank);
+            // Request sinks at the CB.
+            for &rn in &request_nets {
+                if scheme == SchemeKind::InterposerCMesh && rn == 1 {
+                    let (r, p) = cmesh_ej[idx];
+                    cb_sinks.push(((1, r, p), ci));
+                } else {
+                    cb_sinks.push(((rn, idx, 4), ci));
+                }
+            }
+            // MultiPort's extra ports target "the reply injection
+            // bottleneck" (§5): the scheme modifies only the reply
+            // network's CB routers, so its request path is SeparateBase's.
+        }
+
+        // EquiNox physical accounting.
+        if let Some(d) = &design {
+            ubumps = d.ubump_count(128);
+            let segs = d.segments();
+            let wire = WireModel::default();
+            let avg = if segs.is_empty() {
+                0.0
+            } else {
+                wire.total_length_mm(&segs) / segs.len() as f64
+            };
+            rdl_link_mm[1] = avg;
+        }
+
+        // --- area model ---
+        let mut area = 0.0;
+        for (ni, net) in nets.iter().enumerate() {
+            let c = net.config();
+            for idx in 0..c.num_nodes() {
+                let node = Coord::from_index(idx, c.width);
+                // Injection-only ports are input-side only; counting the
+                // paired (dead) output sides would double-charge the
+                // crossbar. CMesh routers are the paper's stated "2x more
+                // ports than a basic router" (§6.5) = 10; elsewhere the
+                // simulator's port count matches the physical router.
+                let ports = if mesh_links_in_rdl[ni] {
+                    10
+                } else {
+                    net.router_ports(node)
+                };
+                area += RouterGeometry {
+                    ports,
+                    vcs: c.vcs_per_port as usize,
+                    buf_flits: c.vc_buf_flits,
+                    flit_bits: c.link_bits as usize,
+                }
+                .area_mm2();
+            }
+        }
+        // Request NIs (one per PE) + scheme-specific CB reply NIs.
+        area += pe_count as f64 * NiGeometry::baseline().area_mm2();
+        let cb_ni = match scheme {
+            SchemeKind::EquiNox => NiGeometry {
+                buffers: 5,
+                buf_flits: 5,
+                flit_bits: 128,
+            },
+            SchemeKind::MultiPort => NiGeometry {
+                buffers: 4,
+                buf_flits: 5,
+                flit_bits: 128,
+            },
+            SchemeKind::Da2Mesh => NiGeometry {
+                buffers: 8,
+                buf_flits: 40,
+                flit_bits: 16,
+            },
+            _ => NiGeometry::baseline(),
+        };
+        area += cfg.n_cbs as f64 * cb_ni.area_mm2();
+
+        let total_instrs = cfg.workload.total_instrs(pe_count);
+        let steps = steps_per_two.clone();
+        System {
+            placement,
+            nets,
+            step_accum: vec![0; steps.len()],
+            steps_per_two: steps,
+            mesh_links_in_rdl,
+            rdl_link_mm,
+            pes,
+            req_nis,
+            cbs,
+            rep_nis,
+            pe_sinks,
+            cb_sinks,
+            tracker: PacketTracker::new(),
+            cycle: 0,
+            area_mm2: area,
+            ubumps,
+            total_instrs,
+            cfg,
+        }
+    }
+
+    /// Index of the cache bank serving `addr` (line-interleaved).
+    pub fn cb_for_addr(&self, addr: u64) -> usize {
+        ((addr / 64) % self.cbs.len() as u64) as usize
+    }
+
+    /// Advances the machine one core cycle.
+    pub fn step(&mut self) {
+        let t = self.cycle;
+        // Cache banks: memory + reply generation.
+        for ci in 0..self.cbs.len() {
+            self.cbs[ci].tick(t, &mut self.tracker, &mut self.rep_nis[ci]);
+        }
+        // PEs: execute and emit requests.
+        let n_cbs = self.cbs.len() as u64;
+        for idx in 0..self.pes.len() {
+            let Some(pe) = self.pes[idx].as_mut() else {
+                continue;
+            };
+            let ni = self.req_nis[idx].as_mut().expect("PE has a request NI");
+            if let Some(op) = pe.tick(ni.can_accept()) {
+                let src = Coord::from_index(idx, self.cfg.n);
+                let ci = ((op.addr / 64) % n_cbs) as usize;
+                let dst = self.cbs[ci].node;
+                let kind = if op.write {
+                    MemOpKind::Write
+                } else {
+                    MemOpKind::Read
+                };
+                let msg = self
+                    .tracker
+                    .create(src, dst, MessageClass::Request, kind, op.addr, t);
+                ni.push(msg);
+            }
+        }
+        // NIs stream flits into the networks.
+        for ni in self.req_nis.iter_mut().flatten() {
+            ni.tick(&mut self.nets, &mut self.tracker, t);
+        }
+        for ni in self.rep_nis.iter_mut() {
+            ni.tick(&mut self.nets, &mut self.tracker, t);
+        }
+        // Networks advance (subnets may step more than once).
+        for i in 0..self.nets.len() {
+            self.step_accum[i] += self.steps_per_two[i];
+            while self.step_accum[i] >= 2 {
+                self.nets[i].step();
+                self.step_accum[i] -= 2;
+            }
+        }
+        // Drain replies at PEs.
+        for &((net, r, p), node) in &self.pe_sinks {
+            while let Some(f) = self.nets[net].pop_ejected(r, p) {
+                if f.is_tail() {
+                    self.tracker.mark_ejected(f.pkt.0, t);
+                    self.pes[node]
+                        .as_mut()
+                        .expect("reply sink belongs to a PE")
+                        .complete();
+                }
+            }
+        }
+        // Drain requests at CBs, gated by bank capacity.
+        for &((net, r, p), ci) in &self.cb_sinks {
+            while self.cbs[ci].can_accept() {
+                match self.nets[net].pop_ejected(r, p) {
+                    Some(f) => {
+                        if f.is_tail() {
+                            self.tracker.mark_ejected(f.pkt.0, t);
+                            self.cbs[ci].accept(f.pkt.0, &self.tracker, t);
+                        }
+                    }
+                    None => break,
+                }
+            }
+        }
+        self.cycle += 1;
+    }
+
+    /// `true` when every PE has retired its quota and received every
+    /// reply.
+    pub fn done(&self) -> bool {
+        self.pes.iter().flatten().all(|pe| pe.done())
+    }
+
+    /// Runs to completion (or the cycle cap) and reports metrics.
+    pub fn run(&mut self) -> RunMetrics {
+        while !self.done() && self.cycle < self.cfg.max_cycles {
+            self.step();
+        }
+        self.metrics()
+    }
+
+    /// Assembles the metrics of the run so far.
+    pub fn metrics(&self) -> RunMetrics {
+        let freq = 1.126; // core clock, GHz (Table 1)
+        let exec_ns = self.cycle as f64 / freq;
+        let model = EnergyModel::default();
+        let mut dynamic = 0.0;
+        for (i, net) in self.nets.iter().enumerate() {
+            let s = net.stats();
+            let c = net.config();
+            let tile = 1.5; // mm between adjacent routers
+            let (mesh_mm, mut rdl_mm) = if self.mesh_links_in_rdl[i] {
+                (0.0, s.link_flits_mesh as f64 * self.rdl_link_mm[i])
+            } else {
+                (s.link_flits_mesh as f64 * tile, 0.0)
+            };
+            rdl_mm += s.link_flits_interposer as f64 * self.rdl_link_mm[i].max(3.0);
+            let ev = EventCounts {
+                buffer_writes: s.buffer_writes,
+                buffer_reads: s.buffer_reads,
+                xbar_traversals: s.xbar_traversals,
+                allocs: s.vc_allocs,
+                mesh_flit_mm: mesh_mm + s.link_flits_ni as f64 * 0.3,
+                rdl_flit_mm: rdl_mm,
+                flit_bits: c.link_bits,
+                avg_ports: net.avg_ports(),
+            };
+            dynamic += model.dynamic_joules(&ev);
+        }
+        let leakage = model.leakage_joules(self.area_mm2, exec_ns * 1e-9);
+        let energy = dynamic + leakage;
+        RunMetrics {
+            scheme: self.cfg.scheme,
+            benchmark: self.cfg.workload.profile.name.to_string(),
+            cycles: self.cycle,
+            exec_ns,
+            ipc: self.total_instrs as f64 / self.cycle.max(1) as f64,
+            completed: self.done(),
+            latency: self.tracker.latency_breakdown(freq),
+            dynamic_j: dynamic,
+            leakage_j: leakage,
+            edp: energy * exec_ns * 1e-9,
+            area_mm2: self.area_mm2,
+            ubumps: self.ubumps,
+            reply_bit_fraction: self.tracker.reply_bit_fraction(),
+        }
+    }
+
+    /// Current core cycle.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Total NoC area (Figure 11's quantity).
+    pub fn area_mm2(&self) -> f64 {
+        self.area_mm2
+    }
+
+    /// µbumps consumed by interposer links (§6.6).
+    pub fn ubumps(&self) -> usize {
+        self.ubumps
+    }
+
+    /// Access to the underlying networks (read-only, for inspection).
+    pub fn networks(&self) -> &[Network] {
+        &self.nets
+    }
+
+    /// Occupancy snapshot for congestion diagnosis:
+    /// `(pe_outstanding, req_ni_backlog, cb_inflight, rep_ni_backlog)`
+    /// summed over the machine.
+    pub fn occupancy(&self) -> (u64, u64, u64, u64) {
+        let outstanding: u64 = self
+            .pes
+            .iter()
+            .flatten()
+            .map(|p| p.outstanding() as u64)
+            .sum();
+        let req_backlog: u64 = self
+            .req_nis
+            .iter()
+            .flatten()
+            .map(|ni| ni.backlog() as u64)
+            .sum();
+        let cb_inflight: u64 = self.cbs.iter().map(|c| c.inflight() as u64).sum();
+        let rep_backlog: u64 = self.rep_nis.iter().map(|ni| ni.backlog() as u64).sum();
+        (outstanding, req_backlog, cb_inflight, rep_backlog)
+    }
+
+    /// Number of CBs currently refusing new requests (at capacity).
+    pub fn cbs_at_capacity(&self) -> usize {
+        self.cbs.iter().filter(|c| !c.can_accept()).count()
+    }
+
+    /// Per-CB inflight request counts.
+    pub fn cb_inflights(&self) -> Vec<usize> {
+        self.cbs.iter().map(|c| c.inflight()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use equinox_traffic::profile::benchmark;
+
+    fn tiny_workload(name: &str) -> Workload {
+        Workload::new(benchmark(name).unwrap(), 0.05, 42)
+    }
+
+    fn run_scheme(scheme: SchemeKind) -> RunMetrics {
+        let mut cfg = SystemConfig::new(scheme, 8, tiny_workload("hotspot"));
+        cfg.max_cycles = 200_000;
+        let mut sys = System::build(cfg);
+        sys.run()
+    }
+
+    #[test]
+    fn single_base_completes() {
+        let m = run_scheme(SchemeKind::SingleBase);
+        assert!(m.completed, "stalled at cycle {}", m.cycles);
+        assert!(m.ipc > 0.0);
+        assert!(m.energy_j() > 0.0);
+    }
+
+    #[test]
+    fn separate_base_completes() {
+        let m = run_scheme(SchemeKind::SeparateBase);
+        assert!(m.completed, "stalled at cycle {}", m.cycles);
+    }
+
+    #[test]
+    fn vc_mono_completes() {
+        let m = run_scheme(SchemeKind::VcMono);
+        assert!(m.completed, "stalled at cycle {}", m.cycles);
+    }
+
+    #[test]
+    fn cmesh_completes() {
+        let m = run_scheme(SchemeKind::InterposerCMesh);
+        assert!(m.completed, "stalled at cycle {}", m.cycles);
+        assert!(m.ubumps == 32_768, "paper's §6.6 CMesh bump count");
+    }
+
+    #[test]
+    fn da2mesh_completes() {
+        let m = run_scheme(SchemeKind::Da2Mesh);
+        assert!(m.completed, "stalled at cycle {}", m.cycles);
+    }
+
+    #[test]
+    fn multiport_completes() {
+        let m = run_scheme(SchemeKind::MultiPort);
+        assert!(m.completed, "stalled at cycle {}", m.cycles);
+    }
+
+    #[test]
+    fn equinox_completes_with_interposer_traffic() {
+        let m = run_scheme(SchemeKind::EquiNox);
+        assert!(m.completed, "stalled at cycle {}", m.cycles);
+        assert!(m.ubumps > 0 && m.ubumps < 32_768, "far fewer bumps than CMesh");
+    }
+
+    #[test]
+    fn reply_bits_dominate() {
+        let m = run_scheme(SchemeKind::SeparateBase);
+        assert!(
+            m.reply_bit_fraction > 0.55 && m.reply_bit_fraction < 0.9,
+            "reply share = {}",
+            m.reply_bit_fraction
+        );
+    }
+
+    #[test]
+    fn separate_beats_single_on_memory_bound_load() {
+        let single = run_scheme(SchemeKind::SingleBase);
+        let separate = run_scheme(SchemeKind::SeparateBase);
+        assert!(
+            separate.cycles < single.cycles * 11 / 10,
+            "separate {} vs single {}",
+            separate.cycles,
+            single.cycles
+        );
+    }
+
+    #[test]
+    fn reply_compression_shortens_reply_bound_runs() {
+        let mut base = SystemConfig::new(SchemeKind::SeparateBase, 8, tiny_workload("kmeans"));
+        base.max_cycles = 400_000;
+        let plain = System::build(base.clone()).run();
+        base.reply_compression = 0.8;
+        let zipped = System::build(base).run();
+        assert!(zipped.completed && plain.completed);
+        assert!(
+            zipped.cycles < plain.cycles,
+            "compressed {} !< plain {}",
+            zipped.cycles,
+            plain.cycles
+        );
+    }
+
+    #[test]
+    fn deeper_pipelines_never_speed_things_up() {
+        let mut cfg = SystemConfig::new(SchemeKind::SeparateBase, 8, tiny_workload("gaussian"));
+        cfg.max_cycles = 400_000;
+        let fast = System::build(cfg.clone()).run();
+        cfg.pipeline_extra = 3;
+        let slow = System::build(cfg).run();
+        assert!(slow.completed && fast.completed);
+        assert!(
+            slow.cycles >= fast.cycles,
+            "pipeline +3 {} !>= +0 {}",
+            slow.cycles,
+            fast.cycles
+        );
+    }
+
+    #[test]
+    fn every_request_gets_exactly_one_reply() {
+        let mut cfg = SystemConfig::new(SchemeKind::EquiNox, 8, tiny_workload("bfs"));
+        cfg.max_cycles = 400_000;
+        let mut sys = System::build(cfg);
+        let m = sys.run();
+        assert!(m.completed);
+        let tracker = &sys.tracker;
+        let (mut req, mut rep, mut undelivered) = (0u64, 0u64, 0u64);
+        for id in 0..tracker.len() as u64 {
+            let r = tracker.record(id);
+            if r.class.is_reply() {
+                rep += 1;
+            } else {
+                req += 1;
+            }
+            if r.ejected.is_none() {
+                undelivered += 1;
+            }
+        }
+        assert_eq!(req, rep, "one reply per request");
+        assert_eq!(undelivered, 0, "everything delivered at completion");
+    }
+
+    #[test]
+    fn area_ordering_matches_figure_11() {
+        let single = run_scheme(SchemeKind::SingleBase);
+        let separate = run_scheme(SchemeKind::SeparateBase);
+        let cmesh = run_scheme(SchemeKind::InterposerCMesh);
+        let equinox = run_scheme(SchemeKind::EquiNox);
+        assert!(single.area_mm2 < separate.area_mm2);
+        assert!(cmesh.area_mm2 > single.area_mm2, "CMesh routers are huge");
+        assert!(equinox.area_mm2 > separate.area_mm2);
+        let overhead = equinox.area_mm2 / separate.area_mm2 - 1.0;
+        assert!(overhead < 0.20, "EquiNox overhead {overhead:.3} should be modest");
+    }
+}

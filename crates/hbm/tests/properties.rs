@@ -1,0 +1,72 @@
+//! Property-based tests for the HBM model: every accepted access
+//! completes exactly once, and timing respects the DRAM floor.
+
+use equinox_hbm::{HbmConfig, HbmStack, MemAccess};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn accepted_accesses_complete_exactly_once(
+        addrs in prop::collection::vec((0u64..1u64 << 20, prop::bool::ANY), 1..60)
+    ) {
+        let cfg = HbmConfig::tiny();
+        let mut stack = HbmStack::new(cfg);
+        let mut accepted = BTreeSet::new();
+        let mut pending: Vec<(u64, u64, bool)> = addrs
+            .iter()
+            .enumerate()
+            .map(|(i, &(a, w))| (i as u64, a & !63, w))
+            .collect();
+        let mut done = BTreeSet::new();
+        let floor = cfg.timing.t_cl + cfg.timing.t_burst;
+        for t in 0..50_000u64 {
+            pending.retain(|&(id, addr, write)| {
+                if stack.enqueue(MemAccess { id, addr, write }, t).is_ok() {
+                    accepted.insert(id);
+                    false
+                } else {
+                    true
+                }
+            });
+            stack.step(t);
+            while let Some(c) = stack.pop_completed() {
+                prop_assert!(done.insert(c.id), "duplicate completion {}", c.id);
+                prop_assert!(c.finished_at >= floor, "faster than CAS+burst");
+            }
+            if pending.is_empty() && done.len() == accepted.len() {
+                break;
+            }
+        }
+        prop_assert_eq!(done.len(), addrs.len(), "every access must finish");
+        prop_assert_eq!(stack.outstanding(), 0);
+    }
+
+    #[test]
+    fn row_stats_account_for_all_accesses(
+        addrs in prop::collection::vec(0u64..1u64 << 18, 1..40)
+    ) {
+        let mut stack = HbmStack::new(HbmConfig::tiny());
+        let mut submitted = 0u64;
+        let mut i = 0usize;
+        for t in 0..50_000u64 {
+            if i < addrs.len()
+                && stack
+                    .enqueue(MemAccess { id: i as u64, addr: addrs[i] & !63, write: false }, t)
+                    .is_ok()
+            {
+                submitted += 1;
+                i += 1;
+            }
+            stack.step(t);
+            while stack.pop_completed().is_some() {}
+            if i == addrs.len() && stack.outstanding() == 0 {
+                break;
+            }
+        }
+        let (h, m, c) = stack.row_stats();
+        prop_assert_eq!(h + m + c, submitted, "every issue hits/misses/conflicts");
+    }
+}

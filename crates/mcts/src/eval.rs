@@ -1,0 +1,256 @@
+//! The MCTS evaluation function (§4.3).
+//!
+//! Four metrics, each normalized to ~[0, 1] and summed (lower is better):
+//!
+//! 1. **max EIR load** — traffic each injection point must handle if every
+//!    PE receives equal reply traffic and packets use shortest-path
+//!    injection points (the Buffer Selector policy of §4.4), normalized by
+//!    the ideal perfectly-balanced load;
+//! 2. **average hop count** — mean CB→PE distance via the best injection
+//!    point (interposer links count one cycle), normalized by the
+//!    no-EIR baseline distance;
+//! 3. **wire crossings** — properly-crossing CB→EIR segment pairs (each
+//!    crossing forces extra RDL layers), normalized per wire;
+//! 4. **link length** — total RDL wire length, normalized by the budget of
+//!    `max_hops`-long wires.
+
+use crate::problem::{EirProblem, EirSelection};
+use equinox_phys::segment::count_crossings;
+use equinox_phys::Coord;
+use serde::{Deserialize, Serialize};
+
+/// Weights of the four metrics (default: equal, as in the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EvalWeights {
+    /// Weight of the max-EIR-load term.
+    pub load: f64,
+    /// Weight of the average-hop-count term.
+    pub hops: f64,
+    /// Weight of the crossing-count term.
+    pub crossings: f64,
+    /// Weight of the wire-length term.
+    pub length: f64,
+}
+
+impl Default for EvalWeights {
+    fn default() -> Self {
+        EvalWeights {
+            // Load imbalance weighs heavily: a single under-provisioned CB
+            // throttles the whole machine (its region tree-saturates the
+            // request mesh), so balance beats marginal wire savings.
+            load: 3.0,
+            hops: 1.0,
+            // Per-crossing penalty: large enough that crossings are a
+            // last resort, small enough that rescuing a starved CB (load
+            // gain ~0.7) justifies one crossing — the paper likewise lets
+            // some CBs keep fewer EIRs only when balance is preserved.
+            crossings: 0.5,
+            length: 1.0,
+        }
+    }
+}
+
+/// The evaluated metrics of one selection.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Evaluation {
+    /// Highest per-injection-point load in PE-traffic units.
+    pub max_load: f64,
+    /// Smooth load-balance score: mean over CBs of the sum of squared
+    /// per-injector traffic shares (1.0 = no EIRs; 1/(k+1) = ideal
+    /// (k+1)-way split).
+    pub max_load_norm: f64,
+    /// Mean CB→PE hops via the best injection point.
+    pub avg_hops: f64,
+    /// Same, normalized by the no-EIR baseline.
+    pub avg_hops_norm: f64,
+    /// Crossing pairs among the interposer wires.
+    pub crossings: usize,
+    /// Total wire length in millimetres.
+    pub length_mm: f64,
+    /// The weighted scalar cost (lower is better).
+    pub cost: f64,
+}
+
+/// Evaluates `sel` for `problem` under `weights`.
+pub fn evaluate(problem: &EirProblem, sel: &EirSelection, weights: &EvalWeights) -> Evaluation {
+    let p = &problem.placement;
+    let pes: Vec<Coord> = p.pe_tiles().collect();
+    let n_cbs = p.cbs.len();
+    debug_assert_eq!(sel.groups.len(), n_cbs);
+
+    // Injection points per CB: local router plus the EIRs (the local
+    // router always remains usable, §4.4). Track load per injection point.
+    let mut load: Vec<Vec<f64>> = sel
+        .groups
+        .iter()
+        .map(|g| vec![0.0; g.len() + 1])
+        .collect();
+    let mut hop_sum = 0.0;
+    let mut base_hop_sum = 0.0;
+    for (i, &cb) in p.cbs.iter().enumerate() {
+        let group = &sel.groups[i];
+        for &pe in &pes {
+            let direct = cb.manhattan(pe);
+            base_hop_sum += direct as f64;
+            // Distance via each injection point; EIR links cost 1 cycle.
+            let mut best = direct; // via local router
+            let mut shortest_eirs: Vec<usize> = Vec::new();
+            for (k, &e) in group.iter().enumerate() {
+                let via = cb.manhattan(e) + e.manhattan(pe);
+                if via == direct {
+                    shortest_eirs.push(k);
+                }
+                let cycles = 1 + e.manhattan(pe); // interposer hop + mesh
+                best = best.min(cycles);
+            }
+            hop_sum += best as f64;
+            // Load split: shortest-path EIRs share the PE's traffic;
+            // with none, the local router takes it (index = group.len()).
+            if shortest_eirs.is_empty() {
+                load[i][group.len()] += 1.0;
+            } else {
+                let share = 1.0 / shortest_eirs.len() as f64;
+                for k in shortest_eirs {
+                    load[i][k] += share;
+                }
+            }
+        }
+    }
+    let pairs = (n_cbs * pes.len()) as f64;
+    let avg_hops = hop_sum / pairs;
+    let base_avg = base_hop_sum / pairs;
+    let avg_hops_norm = if base_avg > 0.0 { avg_hops / base_avg } else { 1.0 };
+
+    // The hottest injection point is what paces the machine, but "max" is
+    // a poor hill-climbing objective (most moves leave the argmax alone).
+    // The cost therefore uses the *sum of squared* per-injector shares —
+    // smooth, minimized by the same perfectly-balanced assignment, and
+    // normalized so the no-EIR baseline (each CB's local router carrying
+    // everything) scores 1.0 and an ideal (k+1)-way split scores 1/(k+1).
+    // The raw max is still reported for analysis.
+    let max_load = load
+        .iter()
+        .flatten()
+        .copied()
+        .fold(0.0_f64, f64::max);
+    let max_load_norm = if pes.is_empty() {
+        0.0
+    } else {
+        let n_pes = pes.len() as f64;
+        let sq: f64 = load
+            .iter()
+            .map(|cb_loads| {
+                cb_loads
+                    .iter()
+                    .map(|l| (l / n_pes) * (l / n_pes))
+                    .sum::<f64>()
+            })
+            .sum();
+        sq / n_cbs as f64
+    };
+
+    let segments = sel.segments(p);
+    let crossings = count_crossings(&segments);
+    let length_mm = problem.wire.total_length_mm(&segments);
+    let budget = segments.len().max(1) as f64
+        * problem.max_hops as f64
+        * problem.wire.tile_pitch_mm;
+    // Crossings are charged *per crossing*, not per wire: each one can
+    // force an extra dual-damascene RDL layer whose yield cost compounds
+    // (§3.2.3), so the term must dominate marginal hop/load trade-offs —
+    // the paper's chosen design accepts smaller EIR groups to reach zero.
+    let crossings_norm = crossings as f64;
+    let length_norm = length_mm / budget;
+
+    let cost = weights.load * max_load_norm
+        + weights.hops * avg_hops_norm
+        + weights.crossings * crossings_norm
+        + weights.length * length_norm;
+
+    Evaluation {
+        max_load,
+        max_load_norm,
+        avg_hops,
+        avg_hops_norm,
+        crossings,
+        length_mm,
+        cost,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::EirProblem;
+    use equinox_placement::select::best_nqueen_placement;
+
+    fn problem() -> EirProblem {
+        EirProblem::new(best_nqueen_placement(8, 8, usize::MAX, 0))
+    }
+
+    #[test]
+    fn no_eirs_is_the_baseline() {
+        let p = problem();
+        let sel = EirSelection {
+            groups: vec![Vec::new(); 8],
+        };
+        let e = evaluate(&p, &sel, &EvalWeights::default());
+        assert!((e.avg_hops_norm - 1.0).abs() < 1e-12);
+        assert_eq!(e.crossings, 0);
+        assert_eq!(e.length_mm, 0.0);
+        // All of a CB's traffic on its local router: load norm = 1.0.
+        assert!((e.max_load_norm - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eirs_reduce_hops_and_load() {
+        let p = problem();
+        let mut rng = EirProblem::rng(5);
+        let sel = p.random_completion(&[], &mut rng);
+        let with = evaluate(&p, &sel, &EvalWeights::default());
+        let without = evaluate(
+            &p,
+            &EirSelection {
+                groups: vec![Vec::new(); 8],
+            },
+            &EvalWeights::default(),
+        );
+        assert!(with.avg_hops < without.avg_hops, "EIRs shorten paths");
+        assert!(
+            with.max_load < without.max_load,
+            "spreading injection over EIRs must cut the hottest load: {} vs {}",
+            with.max_load,
+            without.max_load
+        );
+    }
+
+    #[test]
+    fn weights_shift_cost() {
+        let p = problem();
+        let mut rng = EirProblem::rng(5);
+        let sel = p.random_completion(&[], &mut rng);
+        let balanced = evaluate(&p, &sel, &EvalWeights::default());
+        let hops_only = evaluate(
+            &p,
+            &sel,
+            &EvalWeights {
+                load: 0.0,
+                hops: 1.0,
+                crossings: 0.0,
+                length: 0.0,
+            },
+        );
+        assert!(hops_only.cost < balanced.cost);
+        assert!((hops_only.cost - hops_only.avg_hops_norm).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cost_is_deterministic() {
+        let p = problem();
+        let mut rng = EirProblem::rng(9);
+        let sel = p.random_completion(&[], &mut rng);
+        let a = evaluate(&p, &sel, &EvalWeights::default());
+        let b = evaluate(&p, &sel, &EvalWeights::default());
+        assert_eq!(a, b);
+    }
+}

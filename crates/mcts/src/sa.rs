@@ -1,0 +1,127 @@
+//! Simulated-annealing baseline for EIR selection (§4.3).
+//!
+//! State = one complete selection; a move re-samples one CB's group (with
+//! exclusivity repair); geometric cooling. Like the GA, this exists for
+//! the search-method ablation bench.
+
+use crate::eval::{evaluate, EvalWeights};
+use crate::problem::EirProblem;
+use crate::tree::SearchResult;
+use rand::RngExt;
+use serde::{Deserialize, Serialize};
+
+/// SA parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SaConfig {
+    /// Total proposed moves.
+    pub steps: usize,
+    /// Initial temperature.
+    pub t0: f64,
+    /// Geometric cooling factor per step.
+    pub cooling: f64,
+    /// Metric weights.
+    pub weights: EvalWeights,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SaConfig {
+    fn default() -> Self {
+        SaConfig {
+            steps: 1_200,
+            t0: 0.5,
+            cooling: 0.995,
+            weights: EvalWeights::default(),
+            seed: 0x5A,
+        }
+    }
+}
+
+/// Runs simulated annealing and returns the best selection visited.
+pub fn search(problem: &EirProblem, cfg: &SaConfig) -> SearchResult {
+    let mut rng = EirProblem::rng(cfg.seed);
+    let mut cur = problem.random_completion(&[], &mut rng);
+    let mut cur_eval = evaluate(problem, &cur, &cfg.weights);
+    let mut best = cur.clone();
+    let mut best_eval = cur_eval;
+    let mut evaluations = 1usize;
+    let mut temp = cfg.t0;
+
+    for _ in 0..cfg.steps {
+        // Move: re-sample one CB's group.
+        let i = rng.random_range(0..cur.groups.len());
+        let mut cand = cur.clone();
+        let used: Vec<_> = cand
+            .groups
+            .iter()
+            .enumerate()
+            .filter(|&(k, _)| k != i)
+            .flat_map(|(_, g)| g.iter().copied())
+            .collect();
+        cand.groups[i] = problem.sample_group(i, &used, &mut rng);
+        let cand_eval = evaluate(problem, &cand, &cfg.weights);
+        evaluations += 1;
+        let delta = cand_eval.cost - cur_eval.cost;
+        let accept = delta <= 0.0 || rng.random::<f64>() < (-delta / temp.max(1e-9)).exp();
+        if accept {
+            cur = cand;
+            cur_eval = cand_eval;
+            if cur_eval.cost < best_eval.cost {
+                best = cur.clone();
+                best_eval = cur_eval;
+            }
+        }
+        temp *= cfg.cooling;
+    }
+
+    SearchResult {
+        selection: best,
+        eval: best_eval,
+        evaluations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use equinox_placement::select::best_nqueen_placement;
+
+    fn problem() -> EirProblem {
+        EirProblem::new(best_nqueen_placement(8, 8, usize::MAX, 0))
+    }
+
+    #[test]
+    fn sa_returns_valid_selection() {
+        let p = problem();
+        let cfg = SaConfig {
+            steps: 200,
+            ..Default::default()
+        };
+        let r = search(&p, &cfg);
+        assert_eq!(r.selection.groups.len(), 8);
+        assert!(r.selection.is_exclusive(&p.placement));
+        assert_eq!(r.evaluations, 201);
+    }
+
+    #[test]
+    fn sa_improves_over_start() {
+        let p = problem();
+        let start = {
+            let mut rng = EirProblem::rng(0x5A);
+            let sel = p.random_completion(&[], &mut rng);
+            evaluate(&p, &sel, &EvalWeights::default()).cost
+        };
+        let r = search(&p, &SaConfig::default());
+        assert!(r.eval.cost <= start);
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let p = problem();
+        let cfg = SaConfig {
+            steps: 100,
+            ..Default::default()
+        };
+        assert_eq!(search(&p, &cfg).eval.cost, search(&p, &cfg).eval.cost);
+    }
+}

@@ -1,0 +1,192 @@
+//! Packets and flits.
+//!
+//! A packet is the unit of transfer between network interfaces (a read
+//! request, a cache-line reply, …); a flit is the unit of flow control.
+//! With the paper's 128-bit links a read request is a single flit while a
+//! 64 B cache-line reply serializes into 5 flits (header + 4 data), which
+//! is what makes the reply network carry ~3/4 of all NoC bits (§2.2).
+
+use equinox_phys::Coord;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Globally-unique packet identifier (assigned by the traffic layer).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct PacketId(pub u64);
+
+impl fmt::Display for PacketId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pkt#{}", self.0)
+    }
+}
+
+/// Message class: the two logical networks of a throughput processor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MessageClass {
+    /// PE → CB traffic (read/write requests).
+    Request,
+    /// CB → PE traffic (read data / write acks) — the bottleneck class.
+    Reply,
+}
+
+impl MessageClass {
+    /// `true` for [`MessageClass::Reply`].
+    pub const fn is_reply(self) -> bool {
+        matches!(self, MessageClass::Reply)
+    }
+}
+
+/// Immutable description of a packet before serialization into flits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PacketDesc {
+    /// Unique id.
+    pub id: PacketId,
+    /// Source tile.
+    pub src: Coord,
+    /// Destination tile.
+    pub dst: Coord,
+    /// Message class.
+    pub class: MessageClass,
+    /// Length in flits (≥ 1).
+    pub len: u16,
+}
+
+impl PacketDesc {
+    /// Creates a packet description.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len == 0`.
+    pub fn new(id: u64, src: Coord, dst: Coord, class: MessageClass, len: u16) -> Self {
+        assert!(len > 0, "packets have at least one flit");
+        PacketDesc {
+            id: PacketId(id),
+            src,
+            dst,
+            class,
+            len,
+        }
+    }
+
+    /// Serializes the packet into its flits, in order. The `sink` of every
+    /// flit defaults to the row-major index of `dst` on a mesh `width`
+    /// wide; concentrated networks overwrite it via [`Flit::with_sink`].
+    pub fn flits(&self, width: u16) -> Vec<Flit> {
+        let sink = self.dst.to_index(width) as u32;
+        (0..self.len)
+            .map(|seq| Flit {
+                pkt: self.id,
+                src: self.src,
+                dst: self.dst,
+                class: self.class,
+                seq,
+                len: self.len,
+                sink,
+                vc: 0,
+            })
+            .collect()
+    }
+}
+
+/// The flow-control unit traversing the network.
+///
+/// Flits are small `Copy` values; all per-packet bookkeeping (latency
+/// accounting, reassembly) lives in the traffic layer keyed by
+/// [`Flit::pkt`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Flit {
+    /// Owning packet.
+    pub pkt: PacketId,
+    /// Source tile (in this network's coordinate space).
+    pub src: Coord,
+    /// Destination tile (in this network's coordinate space).
+    pub dst: Coord,
+    /// Message class.
+    pub class: MessageClass,
+    /// Position within the packet (0 = head).
+    pub seq: u16,
+    /// Packet length in flits.
+    pub len: u16,
+    /// Ejection sink tag — disambiguates which local port to leave through
+    /// on routers with several ejection ports (concentrated meshes).
+    pub sink: u32,
+    /// Current virtual channel (rewritten at every hop).
+    pub vc: u8,
+}
+
+impl Flit {
+    /// `true` for the first flit of a packet (carries routing info).
+    pub const fn is_head(&self) -> bool {
+        self.seq == 0
+    }
+
+    /// `true` for the last flit of a packet (releases channel state).
+    pub const fn is_tail(&self) -> bool {
+        self.seq + 1 == self.len
+    }
+
+    /// Returns a copy with the ejection sink tag replaced.
+    pub fn with_sink(mut self, sink: u32) -> Self {
+        self.sink = sink;
+        self
+    }
+
+    /// Returns a copy re-addressed to `dst` (used when mapping a packet
+    /// into a concentrated network's coordinate space).
+    pub fn with_dst(mut self, dst: Coord) -> Self {
+        self.dst = dst;
+        self
+    }
+
+    /// Returns a copy with the source coordinate replaced.
+    pub fn with_src(mut self, src: Coord) -> Self {
+        self.src = src;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serialization_order_and_flags() {
+        let p = PacketDesc::new(7, Coord::new(1, 2), Coord::new(5, 5), MessageClass::Reply, 5);
+        let flits = p.flits(8);
+        assert_eq!(flits.len(), 5);
+        assert!(flits[0].is_head());
+        assert!(!flits[0].is_tail());
+        assert!(flits[4].is_tail());
+        assert!(flits[1..4].iter().all(|f| !f.is_head() && !f.is_tail()));
+        assert!(flits.iter().all(|f| f.pkt == PacketId(7)));
+        assert_eq!(flits[0].sink, 5 * 8 + 5);
+    }
+
+    #[test]
+    fn single_flit_packet_is_head_and_tail() {
+        let p = PacketDesc::new(1, Coord::new(0, 0), Coord::new(1, 0), MessageClass::Request, 1);
+        let f = p.flits(8)[0];
+        assert!(f.is_head() && f.is_tail());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one flit")]
+    fn zero_length_rejected() {
+        let _ = PacketDesc::new(0, Coord::new(0, 0), Coord::new(1, 1), MessageClass::Reply, 0);
+    }
+
+    #[test]
+    fn with_sink_and_dst() {
+        let p = PacketDesc::new(2, Coord::new(0, 0), Coord::new(7, 7), MessageClass::Reply, 2);
+        let f = p.flits(8)[0].with_sink(9).with_dst(Coord::new(3, 3));
+        assert_eq!(f.sink, 9);
+        assert_eq!(f.dst, Coord::new(3, 3));
+        assert_eq!(f.src, Coord::new(0, 0));
+    }
+
+    #[test]
+    fn class_helpers() {
+        assert!(MessageClass::Reply.is_reply());
+        assert!(!MessageClass::Request.is_reply());
+    }
+}

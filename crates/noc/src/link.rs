@@ -1,0 +1,168 @@
+//! Links: pipelined flit channels with a reverse credit channel.
+//!
+//! Every input port of every router is fed by exactly one link. Mesh links
+//! connect neighbouring routers; NI links connect a network interface's
+//! injection buffer to a router input port (the local port, or — in
+//! EquiNox — an EIR's extra port, in which case the link physically lives
+//! in the interposer's RDL and is tagged [`LinkKind::Interposer`] so the
+//! energy and µbump models can account for it separately).
+
+use crate::flit::Flit;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Physical class of a link, for energy/area accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LinkKind {
+    /// Regular on-die link between adjacent routers.
+    Mesh,
+    /// Link routed in the interposer RDLs (EquiNox CB→EIR links,
+    /// Interposer-CMesh links).
+    Interposer,
+    /// Short NI→router connection inside a tile.
+    NiLocal,
+}
+
+/// Where a link's returned credits go.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum CreditDst {
+    /// Credits replenish an upstream router's output-VC counters.
+    RouterOutput { router: usize, port: usize },
+    /// Credits replenish an injector's NI-side counters.
+    Injector { injector: usize },
+}
+
+/// A unidirectional pipelined channel carrying flits downstream and
+/// credits upstream, each with the link's latency.
+#[derive(Debug)]
+pub(crate) struct Link {
+    pub kind: LinkKind,
+    pub latency: u32,
+    /// Downstream endpoint.
+    pub to_router: usize,
+    pub to_port: usize,
+    /// Upstream credit endpoint.
+    pub credit_dst: CreditDst,
+    /// In-flight flits, as (arrival_cycle, flit), ordered by arrival.
+    flits: VecDeque<(u64, Flit)>,
+    /// In-flight credits, as (arrival_cycle, vc).
+    credits: VecDeque<(u64, u8)>,
+}
+
+impl Link {
+    pub fn new(
+        kind: LinkKind,
+        latency: u32,
+        to_router: usize,
+        to_port: usize,
+        credit_dst: CreditDst,
+    ) -> Self {
+        assert!(latency >= 1, "links need at least one cycle of latency");
+        Link {
+            kind,
+            latency,
+            to_router,
+            to_port,
+            credit_dst,
+            flits: VecDeque::new(),
+            credits: VecDeque::new(),
+        }
+    }
+
+    /// Sends a flit; it arrives downstream at `now + latency`.
+    pub fn send_flit(&mut self, now: u64, flit: Flit) {
+        debug_assert!(
+            self.flits.back().map_or(true, |&(t, _)| t < now + self.latency as u64),
+            "more than one flit per cycle on a link"
+        );
+        self.flits.push_back((now + self.latency as u64, flit));
+    }
+
+    /// Sends a credit back upstream for `vc`; arrives at `now + latency`.
+    pub fn send_credit(&mut self, now: u64, vc: u8) {
+        self.credits.push_back((now + self.latency as u64, vc));
+    }
+
+    /// Pops the flit arriving at exactly `now`, if any.
+    pub fn recv_flit(&mut self, now: u64) -> Option<Flit> {
+        if self.flits.front().is_some_and(|&(t, _)| t <= now) {
+            Some(self.flits.pop_front().expect("checked front").1)
+        } else {
+            None
+        }
+    }
+
+    /// Pops all credits that have arrived by `now`.
+    pub fn recv_credits(&mut self, now: u64, out: &mut Vec<u8>) {
+        while self.credits.front().is_some_and(|&(t, _)| t <= now) {
+            out.push(self.credits.pop_front().expect("checked front").1);
+        }
+    }
+
+    /// Number of flits currently in flight (used by drain checks).
+    pub fn in_flight(&self) -> usize {
+        self.flits.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flit::{MessageClass, PacketDesc};
+    use equinox_phys::Coord;
+
+    fn test_flit() -> Flit {
+        PacketDesc::new(0, Coord::new(0, 0), Coord::new(1, 1), MessageClass::Reply, 1).flits(8)[0]
+    }
+
+    fn test_link(latency: u32) -> Link {
+        Link::new(
+            LinkKind::Mesh,
+            latency,
+            1,
+            0,
+            CreditDst::RouterOutput { router: 0, port: 1 },
+        )
+    }
+
+    #[test]
+    fn flit_arrives_after_latency() {
+        let mut l = test_link(3);
+        l.send_flit(10, test_flit());
+        assert_eq!(l.recv_flit(11), None);
+        assert_eq!(l.recv_flit(12), None);
+        assert!(l.recv_flit(13).is_some());
+        assert_eq!(l.recv_flit(13), None, "only one flit was sent");
+    }
+
+    #[test]
+    fn credits_travel_independently() {
+        let mut l = test_link(2);
+        l.send_credit(5, 1);
+        l.send_credit(6, 0);
+        let mut got = Vec::new();
+        l.recv_credits(6, &mut got);
+        assert!(got.is_empty());
+        l.recv_credits(7, &mut got);
+        assert_eq!(got, vec![1]);
+        got.clear();
+        l.recv_credits(8, &mut got);
+        assert_eq!(got, vec![0]);
+    }
+
+    #[test]
+    fn in_flight_counts() {
+        let mut l = test_link(5);
+        assert_eq!(l.in_flight(), 0);
+        l.send_flit(0, test_flit());
+        assert_eq!(l.in_flight(), 1);
+        let _ = l.recv_flit(5);
+        assert_eq!(l.in_flight(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cycle")]
+    fn zero_latency_rejected() {
+        let _ = test_link(0);
+    }
+}

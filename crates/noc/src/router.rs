@@ -1,0 +1,236 @@
+//! Virtual-channel router state.
+//!
+//! Each router has paired input/output ports. Ports 0–3 are the mesh
+//! directions (N, E, S, W), port 4 is the primary local port (NI injection
+//! on the input side, packet ejection on the output side), and ports 5+
+//! are scheme-specific extras: MultiPort's additional injection/ejection
+//! ports, or the one extra input port every EIR gains in EquiNox (§4.4).
+//!
+//! The per-cycle pipeline (route computation, VC allocation, separable
+//! input-first switch allocation, switch traversal) is driven by
+//! [`crate::network::Network::step`], which owns the links and statistics;
+//! this module holds the state machines.
+
+use crate::flit::Flit;
+use std::collections::VecDeque;
+
+/// Mesh port indices. `PORT_LOCAL` is the first local (NI) port.
+pub const PORT_N: usize = 0;
+/// East.
+pub const PORT_E: usize = 1;
+/// South.
+pub const PORT_S: usize = 2;
+/// West.
+pub const PORT_W: usize = 3;
+/// Primary local port.
+pub const PORT_LOCAL: usize = 4;
+
+/// What an output port drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum OutputRole {
+    /// Drives a link (index into the network's link table).
+    Link(usize),
+    /// Ejects flits into a local sink queue. `sink` restricts which flits
+    /// may leave here (concentrated meshes tag one port per attached
+    /// node); `None` accepts anything.
+    Eject { sink: Option<u32> },
+    /// Unused side of a paired port (e.g. the output side of an
+    /// injection-only port).
+    Dead,
+}
+
+/// One virtual channel of an input port.
+#[derive(Debug)]
+pub(crate) struct InputVc {
+    /// Buffered flits with their enqueue cycle (for per-router heat
+    /// statistics).
+    pub buf: VecDeque<(u64, Flit)>,
+    /// Output port allocated to the packet currently draining.
+    pub out_port: Option<usize>,
+    /// Output VC allocated to that packet.
+    pub out_vc: Option<u8>,
+}
+
+impl InputVc {
+    fn new() -> Self {
+        InputVc {
+            buf: VecDeque::new(),
+            out_port: None,
+            out_vc: None,
+        }
+    }
+
+    /// `true` if this VC has a flit ready and a channel allocated.
+    pub fn sa_ready(&self) -> bool {
+        !self.buf.is_empty() && self.out_vc.is_some()
+    }
+}
+
+/// An input port: a set of VCs fed by one link.
+#[derive(Debug)]
+pub(crate) struct InputPort {
+    pub vcs: Vec<InputVc>,
+    /// Link feeding this port (`None` for dead input sides).
+    pub feed_link: Option<usize>,
+    /// Round-robin pointer for input-side switch arbitration.
+    pub sa_ptr: usize,
+}
+
+/// One virtual channel of an output port: downstream credit counter plus
+/// exclusive ownership while a packet is in flight.
+#[derive(Debug)]
+pub(crate) struct OutputVc {
+    pub credits: u32,
+    pub owner: Option<(usize, u8)>,
+}
+
+/// An output port: a set of VC credit counters driving one link, an
+/// ejection queue, or nothing.
+#[derive(Debug)]
+pub(crate) struct OutputPort {
+    pub vcs: Vec<OutputVc>,
+    pub role: OutputRole,
+    /// Round-robin pointer for output-side switch arbitration.
+    pub sa_ptr: usize,
+}
+
+/// A virtual-channel wormhole router.
+#[derive(Debug)]
+pub struct Router {
+    pub(crate) coord: equinox_phys::Coord,
+    pub(crate) inputs: Vec<InputPort>,
+    pub(crate) outputs: Vec<OutputPort>,
+}
+
+impl Router {
+    /// Creates a router with `ports` paired ports, `vcs` VCs per port and
+    /// `depth` flits of buffering per VC. All ports start dead; the
+    /// network builder wires them up.
+    pub(crate) fn new(coord: equinox_phys::Coord, ports: usize, vcs: u8, depth: u32) -> Self {
+        let inputs = (0..ports)
+            .map(|_| InputPort {
+                vcs: (0..vcs).map(|_| InputVc::new()).collect(),
+                feed_link: None,
+                sa_ptr: 0,
+            })
+            .collect();
+        let outputs = (0..ports)
+            .map(|_| OutputPort {
+                vcs: (0..vcs)
+                    .map(|_| OutputVc {
+                        credits: depth,
+                        owner: None,
+                    })
+                    .collect(),
+                role: OutputRole::Dead,
+                sa_ptr: 0,
+            })
+            .collect();
+        Router {
+            coord,
+            inputs,
+            outputs,
+        }
+    }
+
+    /// Appends a fresh paired port and returns its index.
+    pub(crate) fn add_port(&mut self, vcs: u8, depth: u32) -> usize {
+        let idx = self.inputs.len();
+        self.inputs.push(InputPort {
+            vcs: (0..vcs).map(|_| InputVc::new()).collect(),
+            feed_link: None,
+            sa_ptr: 0,
+        });
+        self.outputs.push(OutputPort {
+            vcs: (0..vcs)
+                .map(|_| OutputVc {
+                    credits: depth,
+                    owner: None,
+                })
+                .collect(),
+            role: OutputRole::Dead,
+            sa_ptr: 0,
+        });
+        idx
+    }
+
+    /// This router's mesh coordinate.
+    pub fn coord(&self) -> equinox_phys::Coord {
+        self.coord
+    }
+
+    /// Number of paired ports.
+    pub fn num_ports(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Total flits currently buffered across all input VCs.
+    pub fn buffered_flits(&self) -> usize {
+        self.inputs
+            .iter()
+            .flat_map(|p| p.vcs.iter())
+            .map(|vc| vc.buf.len())
+            .sum()
+    }
+
+    /// `true` if any buffered flit belongs to `class`.
+    pub(crate) fn class_present(&self, class: crate::flit::MessageClass) -> bool {
+        self.inputs
+            .iter()
+            .flat_map(|p| p.vcs.iter())
+            .flat_map(|vc| vc.buf.iter())
+            .any(|&(_, f)| f.class == class)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flit::{MessageClass, PacketDesc};
+    use equinox_phys::Coord;
+
+    #[test]
+    fn construction_shapes() {
+        let r = Router::new(Coord::new(1, 1), 5, 2, 5);
+        assert_eq!(r.num_ports(), 5);
+        assert_eq!(r.inputs[0].vcs.len(), 2);
+        assert_eq!(r.outputs[4].vcs.len(), 2);
+        assert_eq!(r.outputs[0].vcs[0].credits, 5);
+        assert_eq!(r.buffered_flits(), 0);
+        assert_eq!(r.coord(), Coord::new(1, 1));
+    }
+
+    #[test]
+    fn add_port_extends_pairs() {
+        let mut r = Router::new(Coord::new(0, 0), 5, 2, 5);
+        let p = r.add_port(2, 5);
+        assert_eq!(p, 5);
+        assert_eq!(r.num_ports(), 6);
+        assert!(matches!(r.outputs[5].role, OutputRole::Dead));
+    }
+
+    #[test]
+    fn class_presence_detection() {
+        let mut r = Router::new(Coord::new(0, 0), 5, 2, 5);
+        assert!(!r.class_present(MessageClass::Reply));
+        let f = PacketDesc::new(0, Coord::new(0, 0), Coord::new(1, 1), MessageClass::Reply, 1)
+            .flits(8)[0];
+        r.inputs[0].vcs[0].buf.push_back((0, f));
+        assert!(r.class_present(MessageClass::Reply));
+        assert!(!r.class_present(MessageClass::Request));
+        assert_eq!(r.buffered_flits(), 1);
+    }
+
+    #[test]
+    fn sa_ready_requires_allocation_and_flit() {
+        let mut vc = InputVc::new();
+        assert!(!vc.sa_ready());
+        let f = PacketDesc::new(0, Coord::new(0, 0), Coord::new(1, 1), MessageClass::Reply, 1)
+            .flits(8)[0];
+        vc.buf.push_back((0, f));
+        assert!(!vc.sa_ready(), "no output VC allocated yet");
+        vc.out_port = Some(1);
+        vc.out_vc = Some(0);
+        assert!(vc.sa_ready());
+    }
+}

@@ -1,0 +1,128 @@
+//! Route computation: XY dimension-order and minimal adaptive routing.
+//!
+//! Minimal adaptive routing (Table 1) lets a packet take any *productive*
+//! direction — one that reduces its distance to the destination — and
+//! picks among them greedily by downstream credit availability. Deadlock
+//! freedom follows Duato's construction: VC 0 of each class partition is
+//! an *escape* channel restricted to the XY dimension-order path, and VC
+//! allocation always falls back to it, so the escape sub-network's acyclic
+//! channel-dependence graph guarantees progress (§4.4 argues EquiNox's
+//! extra injection ports leave this property intact, which our tests
+//! verify by draining saturating workloads).
+
+use crate::config::RoutingKind;
+use equinox_phys::{Coord, Direction};
+
+/// The XY dimension-order direction from `cur` towards `dst`: exhaust X
+/// first, then Y. Returns `None` when already at the destination.
+///
+/// ```
+/// # use equinox_noc::routing::dor_direction;
+/// # use equinox_phys::{Coord, Direction};
+/// assert_eq!(dor_direction(Coord::new(0, 0), Coord::new(2, 2)), Some(Direction::East));
+/// assert_eq!(dor_direction(Coord::new(2, 0), Coord::new(2, 2)), Some(Direction::South));
+/// assert_eq!(dor_direction(Coord::new(2, 2), Coord::new(2, 2)), None);
+/// ```
+pub fn dor_direction(cur: Coord, dst: Coord) -> Option<Direction> {
+    if cur.x < dst.x {
+        Some(Direction::East)
+    } else if cur.x > dst.x {
+        Some(Direction::West)
+    } else if cur.y < dst.y {
+        Some(Direction::South)
+    } else if cur.y > dst.y {
+        Some(Direction::North)
+    } else {
+        None
+    }
+}
+
+/// All productive (distance-reducing) directions from `cur` to `dst`.
+/// At most two on a mesh; empty when already there.
+///
+/// ```
+/// # use equinox_noc::routing::productive_directions;
+/// # use equinox_phys::{Coord, Direction};
+/// let dirs = productive_directions(Coord::new(1, 1), Coord::new(3, 0));
+/// assert_eq!(dirs, vec![Direction::East, Direction::North]);
+/// ```
+pub fn productive_directions(cur: Coord, dst: Coord) -> Vec<Direction> {
+    let mut dirs = Vec::with_capacity(2);
+    if cur.x < dst.x {
+        dirs.push(Direction::East);
+    } else if cur.x > dst.x {
+        dirs.push(Direction::West);
+    }
+    if cur.y < dst.y {
+        dirs.push(Direction::South);
+    } else if cur.y > dst.y {
+        dirs.push(Direction::North);
+    }
+    dirs
+}
+
+/// Candidate output directions under `kind`, in preference order (the
+/// router reorders adaptive candidates by credit count at allocation
+/// time). The DOR direction is always included so the escape VC has a
+/// legal port.
+pub fn candidates(kind: RoutingKind, cur: Coord, dst: Coord) -> Vec<Direction> {
+    match kind {
+        RoutingKind::Xy => dor_direction(cur, dst).into_iter().collect(),
+        RoutingKind::MinimalAdaptive => productive_directions(cur, dst),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dor_is_x_first() {
+        assert_eq!(
+            dor_direction(Coord::new(0, 5), Coord::new(3, 1)),
+            Some(Direction::East)
+        );
+        assert_eq!(
+            dor_direction(Coord::new(3, 5), Coord::new(3, 1)),
+            Some(Direction::North)
+        );
+    }
+
+    #[test]
+    fn productive_set_is_minimal() {
+        // Every productive direction must strictly reduce distance.
+        for (cx, cy, dx, dy) in [(0u16, 0u16, 7u16, 7u16), (4, 4, 0, 0), (3, 3, 3, 0), (2, 5, 2, 5)] {
+            let cur = Coord::new(cx, cy);
+            let dst = Coord::new(dx, dy);
+            for d in productive_directions(cur, dst) {
+                let next = cur.step(d, 8, 8).expect("productive stays on grid");
+                assert!(next.manhattan(dst) < cur.manhattan(dst));
+            }
+        }
+    }
+
+    #[test]
+    fn dor_contained_in_productive() {
+        for (cx, cy, dx, dy) in [(0u16, 0u16, 7u16, 7u16), (6, 1, 2, 5), (3, 3, 3, 7)] {
+            let cur = Coord::new(cx, cy);
+            let dst = Coord::new(dx, dy);
+            if let Some(d) = dor_direction(cur, dst) {
+                assert!(productive_directions(cur, dst).contains(&d));
+            }
+        }
+    }
+
+    #[test]
+    fn at_destination_no_candidates() {
+        let c = Coord::new(4, 4);
+        assert!(productive_directions(c, c).is_empty());
+        assert!(candidates(RoutingKind::MinimalAdaptive, c, c).is_empty());
+        assert!(candidates(RoutingKind::Xy, c, c).is_empty());
+    }
+
+    #[test]
+    fn xy_gives_single_candidate() {
+        let c = candidates(RoutingKind::Xy, Coord::new(0, 0), Coord::new(5, 5));
+        assert_eq!(c, vec![Direction::East]);
+    }
+}

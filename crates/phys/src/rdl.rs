@@ -1,0 +1,123 @@
+//! Redistribution-layer (RDL) requirements for a set of interposer wires.
+//!
+//! Two wires that cross must live on different metal layers; the minimum
+//! number of RDLs for a wiring plan is the chromatic number of its crossing
+//! graph. Because the dual-damascene process makes every extra copper layer
+//! expensive (§2.1, §3.2.3), the paper treats the crossing count and the
+//! resulting layer count as first-class costs. An EIR selection with zero
+//! crossings — which the MCTS finds for 8×8 (§4.3) — needs exactly one RDL.
+
+use crate::segment::{crossing_pairs, Segment};
+
+/// Estimates how many RDL metal layers the wiring plan needs.
+///
+/// Uses greedy colouring of the crossing graph in descending-degree order
+/// (Welsh–Powell). This is exact for the sparse, planar-ish crossing graphs
+/// interposer links produce in practice, and an upper bound in general —
+/// matching how a router would actually assign layers.
+///
+/// An empty plan or a plan with no crossings needs one layer (wires still
+/// have to be routed somewhere).
+///
+/// ```
+/// # use equinox_phys::{geom::Coord, rdl::rdl_layers_required, segment::Segment};
+/// let no_cross = [Segment::new(Coord::new(0, 0), Coord::new(2, 0))];
+/// assert_eq!(rdl_layers_required(&no_cross), 1);
+///
+/// let cross = [
+///     Segment::new(Coord::new(0, 1), Coord::new(2, 1)),
+///     Segment::new(Coord::new(1, 0), Coord::new(1, 2)),
+/// ];
+/// assert_eq!(rdl_layers_required(&cross), 2);
+/// ```
+pub fn rdl_layers_required(segments: &[Segment]) -> usize {
+    if segments.is_empty() {
+        return 1;
+    }
+    let pairs = crossing_pairs(segments);
+    if pairs.is_empty() {
+        return 1;
+    }
+    let n = segments.len();
+    let mut adj = vec![Vec::new(); n];
+    for (i, j) in pairs {
+        adj[i].push(j);
+        adj[j].push(i);
+    }
+    // Welsh–Powell: colour vertices in order of decreasing degree.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&v| std::cmp::Reverse(adj[v].len()));
+    let mut colour = vec![usize::MAX; n];
+    let mut max_colour = 0;
+    for &v in &order {
+        let mut used = vec![false; max_colour + 1];
+        for &u in &adj[v] {
+            if colour[u] != usize::MAX && colour[u] <= max_colour {
+                used[colour[u]] = true;
+            }
+        }
+        let c = (0..).find(|&c| c > max_colour || !used[c]).expect("unbounded");
+        colour[v] = c;
+        max_colour = max_colour.max(c);
+    }
+    max_colour + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geom::Coord;
+
+    fn c(x: u16, y: u16) -> Coord {
+        Coord::new(x, y)
+    }
+
+    #[test]
+    fn empty_plan_needs_one_layer() {
+        assert_eq!(rdl_layers_required(&[]), 1);
+    }
+
+    #[test]
+    fn crossing_free_plan_needs_one_layer() {
+        // Parallel horizontal wires on different rows.
+        let wires: Vec<Segment> = (0..4)
+            .map(|y| Segment::new(c(0, y), c(4, y)))
+            .collect();
+        assert_eq!(rdl_layers_required(&wires), 1);
+    }
+
+    #[test]
+    fn single_crossing_needs_two_layers() {
+        let wires = [
+            Segment::new(c(0, 1), c(2, 1)),
+            Segment::new(c(1, 0), c(1, 2)),
+        ];
+        assert_eq!(rdl_layers_required(&wires), 2);
+    }
+
+    #[test]
+    fn figure3_three_crossings_need_two_layers() {
+        // §3.2.3: "at least two layers are needed to handle the three
+        // points of intersection". One long wire crossed by two others,
+        // plus one crossing among those two -> 2-colourable triangle-free?
+        // Build: A crosses B, A crosses C, B and C disjoint => 2 layers.
+        let wires = [
+            Segment::new(c(0, 2), c(6, 2)),  // A: long horizontal
+            Segment::new(c(1, 0), c(1, 4)),  // B: crosses A
+            Segment::new(c(4, 0), c(4, 4)),  // C: crosses A
+        ];
+        assert_eq!(rdl_layers_required(&wires), 2);
+    }
+
+    #[test]
+    fn mutually_crossing_triple_needs_three_layers() {
+        // Three wires pairwise crossing form a triangle in the crossing
+        // graph -> chromatic number 3.
+        let wires = [
+            Segment::new(c(0, 2), c(6, 2)),
+            Segment::new(c(1, 0), c(5, 4)),
+            Segment::new(c(1, 4), c(5, 0)),
+        ];
+        assert_eq!(rdl_layers_required(&wires), 3);
+    }
+}

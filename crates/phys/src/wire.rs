@@ -1,0 +1,123 @@
+//! Interposer wire lengths and the passive-interposer timing constraint.
+//!
+//! RDL wires have electrical characteristics close to on-die global wires
+//! (§2.3, \[18\]), but a *passive* interposer cannot host repeaters: a wire
+//! must be short enough to traverse in one clock cycle, otherwise the
+//! design would need an active interposer with its thermal and cost
+//! problems (§3.2.3). The paper's 8×8 design keeps every EIR link at
+//! 2 hops, which "can be fit into one clock cycle" (§4.3).
+
+use crate::segment::Segment;
+use serde::{Deserialize, Serialize};
+
+/// Physical wire model for interposer links.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WireModel {
+    /// Distance between adjacent tile centres, in millimetres.
+    /// A GPU-class tile (SM + router) is on the order of 1.5 mm.
+    pub tile_pitch_mm: f64,
+    /// Longest wire that still closes timing in one cycle without
+    /// repeaters, in millimetres.
+    pub max_single_cycle_mm: f64,
+}
+
+impl Default for WireModel {
+    fn default() -> Self {
+        WireModel {
+            tile_pitch_mm: 1.5,
+            // 2 mesh hops (3 mm) fit in one cycle per §4.3; leave headroom
+            // so exactly-2-hop diagonal links also pass.
+            max_single_cycle_mm: 4.5,
+        }
+    }
+}
+
+impl WireModel {
+    /// Physical length of `seg` in millimetres (Euclidean, since RDL wires
+    /// run point-to-point underneath the die).
+    ///
+    /// ```
+    /// # use equinox_phys::{geom::Coord, segment::Segment, wire::WireModel};
+    /// let m = WireModel::default();
+    /// let two_hop = Segment::new(Coord::new(2, 2), Coord::new(4, 2));
+    /// assert!((m.length_mm(&two_hop) - 3.0).abs() < 1e-12);
+    /// ```
+    pub fn length_mm(&self, seg: &Segment) -> f64 {
+        seg.euclid_length() * self.tile_pitch_mm
+    }
+
+    /// `true` if `seg` can be traversed in a single clock cycle without a
+    /// repeater, i.e. the design stays on a passive interposer.
+    pub fn fits_one_cycle(&self, seg: &Segment) -> bool {
+        self.length_mm(seg) <= self.max_single_cycle_mm
+    }
+
+    /// Link latency in cycles for `seg`: one cycle per
+    /// `max_single_cycle_mm` of wire, minimum one cycle. Lengths beyond
+    /// the single-cycle reach imply repeaters (an active interposer).
+    ///
+    /// ```
+    /// # use equinox_phys::{geom::Coord, segment::Segment, wire::WireModel};
+    /// let m = WireModel::default();
+    /// let short = Segment::new(Coord::new(0, 0), Coord::new(2, 0));
+    /// assert_eq!(m.latency_cycles(&short), 1);
+    /// let long = Segment::new(Coord::new(0, 0), Coord::new(7, 0));
+    /// assert!(m.latency_cycles(&long) > 1);
+    /// ```
+    pub fn latency_cycles(&self, seg: &Segment) -> u32 {
+        let len = self.length_mm(seg);
+        (len / self.max_single_cycle_mm).ceil().max(1.0) as u32
+    }
+
+    /// Total wire length of a plan in millimetres — the "length of links"
+    /// metric in the MCTS evaluation function (§4.3).
+    pub fn total_length_mm(&self, segments: &[Segment]) -> f64 {
+        segments.iter().map(|s| self.length_mm(s)).sum()
+    }
+
+    /// `true` if every wire in the plan closes single-cycle timing, i.e.
+    /// the whole design is viable on a passive interposer.
+    pub fn all_single_cycle(&self, segments: &[Segment]) -> bool {
+        segments.iter().all(|s| self.fits_one_cycle(s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geom::Coord;
+
+    fn seg(ax: u16, ay: u16, bx: u16, by: u16) -> Segment {
+        Segment::new(Coord::new(ax, ay), Coord::new(bx, by))
+    }
+
+    #[test]
+    fn two_hop_links_are_single_cycle() {
+        let m = WireModel::default();
+        assert!(m.fits_one_cycle(&seg(2, 2, 4, 2))); // straight 2-hop
+        assert!(m.fits_one_cycle(&seg(2, 2, 3, 3))); // L-shaped 2-hop
+        assert_eq!(m.latency_cycles(&seg(2, 2, 4, 2)), 1);
+    }
+
+    #[test]
+    fn cross_die_links_need_repeaters() {
+        let m = WireModel::default();
+        let long = seg(0, 0, 7, 7);
+        assert!(!m.fits_one_cycle(&long));
+        assert!(m.latency_cycles(&long) >= 2);
+    }
+
+    #[test]
+    fn total_length_sums() {
+        let m = WireModel::default();
+        let plan = [seg(0, 0, 2, 0), seg(0, 0, 0, 2)];
+        assert!((m.total_length_mm(&plan) - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_single_cycle_rejects_mixed_plans() {
+        let m = WireModel::default();
+        assert!(m.all_single_cycle(&[seg(0, 0, 2, 0)]));
+        assert!(!m.all_single_cycle(&[seg(0, 0, 2, 0), seg(0, 0, 7, 7)]));
+    }
+}

@@ -1,0 +1,94 @@
+//! Property-based tests for the interposer physical model.
+
+use equinox_phys::geom::{Coord, Direction};
+use equinox_phys::rdl::rdl_layers_required;
+use equinox_phys::segment::{count_crossings, Segment};
+use equinox_phys::wire::WireModel;
+use proptest::prelude::*;
+
+fn coord() -> impl Strategy<Value = Coord> {
+    (0u16..16, 0u16..16).prop_map(|(x, y)| Coord::new(x, y))
+}
+
+fn segment() -> impl Strategy<Value = Segment> {
+    (coord(), coord())
+        .prop_filter("nonzero wires", |(a, b)| a != b)
+        .prop_map(|(a, b)| Segment::new(a, b))
+}
+
+proptest! {
+    #[test]
+    fn manhattan_triangle_inequality(a in coord(), b in coord(), c in coord()) {
+        prop_assert!(a.manhattan(c) <= a.manhattan(b) + b.manhattan(c));
+    }
+
+    #[test]
+    fn manhattan_symmetric_chebyshev_bounded(a in coord(), b in coord()) {
+        prop_assert_eq!(a.manhattan(b), b.manhattan(a));
+        prop_assert!(a.chebyshev(b) <= a.manhattan(b));
+        prop_assert!(a.manhattan(b) <= 2 * a.chebyshev(b));
+    }
+
+    #[test]
+    fn index_roundtrip(c in coord()) {
+        prop_assert_eq!(Coord::from_index(c.to_index(16), 16), c);
+    }
+
+    #[test]
+    fn queen_attack_is_symmetric(a in coord(), b in coord()) {
+        prop_assert_eq!(a.queen_attacks(b), b.queen_attacks(a));
+    }
+
+    #[test]
+    fn step_moves_one_hop(c in coord(), d in 0usize..4) {
+        let dir = Direction::ALL[d];
+        if let Some(n) = c.step(dir, 16, 16) {
+            prop_assert_eq!(c.manhattan(n), 1);
+            prop_assert_eq!(n.step(dir.opposite(), 16, 16), Some(c));
+        }
+    }
+
+    #[test]
+    fn crossing_is_symmetric(s1 in segment(), s2 in segment()) {
+        prop_assert_eq!(s1.crosses(&s2), s2.crosses(&s1));
+    }
+
+    #[test]
+    fn shared_endpoints_never_cross(a in coord(), b in coord(), c in coord()) {
+        prop_assume!(a != b && a != c);
+        let s1 = Segment::new(a, b);
+        let s2 = Segment::new(a, c);
+        prop_assert!(!s1.crosses(&s2));
+    }
+
+    #[test]
+    fn crossing_count_permutation_invariant(mut segs in prop::collection::vec(segment(), 0..8)) {
+        let n = count_crossings(&segs);
+        segs.reverse();
+        prop_assert_eq!(count_crossings(&segs), n);
+    }
+
+    #[test]
+    fn rdl_layers_bounded(segs in prop::collection::vec(segment(), 0..8)) {
+        let layers = rdl_layers_required(&segs);
+        prop_assert!(layers >= 1);
+        prop_assert!(layers <= segs.len().max(1));
+        // Zero crossings iff one layer.
+        if count_crossings(&segs) == 0 {
+            prop_assert_eq!(layers, 1);
+        } else {
+            prop_assert!(layers >= 2);
+        }
+    }
+
+    #[test]
+    fn wire_latency_monotone_in_length(s in segment()) {
+        let m = WireModel::default();
+        let lat = m.latency_cycles(&s);
+        prop_assert!(lat >= 1);
+        prop_assert_eq!(m.fits_one_cycle(&s), lat == 1);
+        // Length scales linearly with pitch.
+        let double = WireModel { tile_pitch_mm: m.tile_pitch_mm * 2.0, ..m };
+        prop_assert!(double.length_mm(&s) >= m.length_mm(&s));
+    }
+}

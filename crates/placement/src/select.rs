@@ -1,0 +1,116 @@
+//! End-to-end placement selection (§4.2, §6.8).
+//!
+//! Given a mesh size and a CB count, produce the least-penalized placement:
+//!
+//! * `n_cbs == n` — score every N-Queen solution (up to a cap for large
+//!   boards) and keep the best.
+//! * `n_cbs < n` — per §6.8, generate N-Queen solutions, delete redundant
+//!   queens (we delete evenly-spaced rows rather than randomly, which is
+//!   deterministic and never worse), and score.
+//! * `n_cbs > n` — fall back to the knight-move walk of [`crate::knight`].
+
+use crate::knight::best_knight_placement;
+use crate::nqueen::{solutions_limited, to_placement};
+use crate::scheme::Placement;
+use crate::score::PlacementScorer;
+
+/// Deterministic sub-sampling of rows when fewer CBs than rows are needed:
+/// rows are spread evenly across the board, which keeps the surviving
+/// queens far apart.
+fn spread_rows(n: u16, k: u16) -> Vec<u16> {
+    (0..k).map(|i| i * n / k).collect()
+}
+
+/// Selects the best-scoring N-Queen-based placement of `n_cbs` cache banks
+/// on an `n × n` mesh, examining at most `max_solutions` N-Queen solutions
+/// (pass `usize::MAX` to examine all — fine for `n <= 12`).
+///
+/// `seed` reserves determinism knobs for future randomized row deletion; it
+/// currently only breaks exact score ties by rotating the solution list,
+/// so different seeds may return different (equally-scored) placements.
+///
+/// # Panics
+///
+/// Panics if no N-Queen solution exists for `n` (i.e. `n` in `{2, 3}`) and
+/// `n_cbs <= n`, or if `n == 0`.
+pub fn best_nqueen_placement(n: u16, n_cbs: u16, max_solutions: usize, seed: u64) -> Placement {
+    assert!(n > 0, "mesh size must be nonzero");
+    if n_cbs > n {
+        return best_knight_placement(n, n_cbs);
+    }
+    let scorer = PlacementScorer::new(n, n);
+    let sols = solutions_limited(n, max_solutions);
+    assert!(
+        !sols.is_empty(),
+        "no N-Queen solutions exist for n = {n}; use a different mesh size"
+    );
+    let keep = if n_cbs < n {
+        Some(spread_rows(n, n_cbs))
+    } else {
+        None
+    };
+    let rotate = (seed as usize) % sols.len();
+    let mut best: Option<(u64, Placement)> = None;
+    for i in 0..sols.len() {
+        let sol = &sols[(i + rotate) % sols.len()];
+        let p = to_placement(n, sol, keep.as_deref());
+        let score = scorer.penalty(&p.cbs);
+        if best.as_ref().is_none_or(|(s, _)| score < *s) {
+            best = Some((score, p));
+        }
+    }
+    best.expect("at least one solution scored").1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nqueen::solutions;
+
+    #[test]
+    fn best_8x8_is_minimum_over_all_92() {
+        let scorer = PlacementScorer::new(8, 8);
+        let best = best_nqueen_placement(8, 8, usize::MAX, 0);
+        let min = solutions(8)
+            .iter()
+            .map(|s| scorer.penalty(&to_placement(8, s, None).cbs))
+            .min()
+            .unwrap();
+        assert_eq!(scorer.penalty(&best.cbs), min);
+    }
+
+    #[test]
+    fn fewer_cbs_than_n() {
+        let p = best_nqueen_placement(12, 8, 2000, 0);
+        assert_eq!(p.cbs.len(), 8);
+        assert!(p.is_queen_safe(), "deleting queens preserves safety");
+    }
+
+    #[test]
+    fn more_cbs_than_n_uses_knight() {
+        let p = best_nqueen_placement(8, 10, usize::MAX, 0);
+        assert_eq!(p.cbs.len(), 10);
+        assert_eq!(p.kind, crate::scheme::PlacementKind::Knight);
+    }
+
+    #[test]
+    fn seed_changes_tie_breaking_but_not_score() {
+        let scorer = PlacementScorer::new(8, 8);
+        let a = best_nqueen_placement(8, 8, usize::MAX, 0);
+        let b = best_nqueen_placement(8, 8, usize::MAX, 17);
+        assert_eq!(scorer.penalty(&a.cbs), scorer.penalty(&b.cbs));
+    }
+
+    #[test]
+    fn large_board_with_cap_terminates() {
+        let p = best_nqueen_placement(16, 8, 500, 0);
+        assert_eq!(p.cbs.len(), 8);
+        assert!(p.is_queen_safe());
+    }
+
+    #[test]
+    fn spread_rows_even() {
+        assert_eq!(spread_rows(12, 8), vec![0, 1, 3, 4, 6, 7, 9, 10]);
+        assert_eq!(spread_rows(8, 8), vec![0, 1, 2, 3, 4, 5, 6, 7]);
+    }
+}

@@ -1,0 +1,62 @@
+//! Energy breakdowns and derived figures of merit.
+
+use serde::{Deserialize, Serialize};
+
+/// Energy of one scheme run, split as the paper plots it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    /// Dynamic energy, joules.
+    pub dynamic_j: f64,
+    /// Leakage energy, joules.
+    pub leakage_j: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy in joules.
+    pub fn total_j(&self) -> f64 {
+        self.dynamic_j + self.leakage_j
+    }
+
+    /// Accumulates another breakdown (e.g. the request network's on top of
+    /// the reply network's).
+    pub fn add(&mut self, other: &EnergyBreakdown) {
+        self.dynamic_j += other.dynamic_j;
+        self.leakage_j += other.leakage_j;
+    }
+}
+
+/// Energy-delay product in joule·seconds — the paper's headline combined
+/// metric (Figure 9(c)).
+///
+/// ```
+/// # use equinox_power::report::edp;
+/// assert_eq!(edp(2.0, 3.0), 6.0);
+/// ```
+pub fn edp(energy_j: f64, delay_s: f64) -> f64 {
+    energy_j * delay_s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_accumulation() {
+        let mut a = EnergyBreakdown {
+            dynamic_j: 1.0,
+            leakage_j: 0.5,
+        };
+        let b = EnergyBreakdown {
+            dynamic_j: 2.0,
+            leakage_j: 0.25,
+        };
+        a.add(&b);
+        assert_eq!(a.total_j(), 3.75);
+    }
+
+    #[test]
+    fn edp_combines_energy_and_delay() {
+        // A scheme that halves delay at equal energy halves EDP.
+        assert_eq!(edp(4.0, 1.0), 2.0 * edp(4.0, 0.5));
+    }
+}

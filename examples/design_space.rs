@@ -1,0 +1,81 @@
+//! Design-space exploration: walk the paper's §4 pipeline step by step —
+//! N-Queen enumeration, hot-zone scoring, MCTS EIR selection, and the
+//! physical checks (crossings, RDL layers, µbumps) — printing what each
+//! stage decides.
+//!
+//! ```text
+//! cargo run --release --example design_space
+//! ```
+
+use equinox_core::EquiNoxDesign;
+use equinox_mcts::eval::{evaluate, EvalWeights};
+use equinox_mcts::problem::EirProblem;
+use equinox_mcts::{ga, sa, tree};
+use equinox_phys::segment::count_crossings;
+use equinox_placement::nqueen::{solutions, to_placement};
+use equinox_placement::PlacementScorer;
+
+fn main() {
+    // --- Stage 1: N-Queen placement candidates (§4.2) ---
+    let sols = solutions(8);
+    let scorer = PlacementScorer::new(8, 8);
+    let mut scored: Vec<(u64, usize)> = sols
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (scorer.penalty(&to_placement(8, s, None).cbs), i))
+        .collect();
+    scored.sort();
+    println!(
+        "Stage 1 — N-Queen: {} solutions; hot-zone penalties {}..{} (best solution #{})",
+        sols.len(),
+        scored[0].0,
+        scored.last().unwrap().0,
+        scored[0].1
+    );
+
+    // --- Stage 2: MCTS EIR selection (§4.3), with GA/SA for contrast ---
+    let placement = to_placement(8, &sols[scored[0].1], None);
+    let problem = EirProblem::new(placement.clone());
+    let weights = EvalWeights::default();
+    let mcts = tree::search(
+        &problem,
+        &tree::MctsConfig {
+            iterations: 1_500,
+            seed: 1,
+            ..Default::default()
+        },
+    );
+    let ga_r = ga::search(&problem, &ga::GaConfig { seed: 1, ..Default::default() });
+    let sa_r = sa::search(&problem, &sa::SaConfig { seed: 1, ..Default::default() });
+    println!("Stage 2 — search (cost lower = better):");
+    for (name, r) in [("MCTS", &mcts), ("GA", &ga_r), ("SA", &sa_r)] {
+        println!(
+            "  {name:5} cost {:7.3} | crossings {:2} | {} EIRs | {} evaluations",
+            r.eval.cost,
+            r.eval.crossings,
+            r.selection.total_eirs(),
+            r.evaluations
+        );
+    }
+
+    // --- Stage 3: physical viability (§3.2.3) ---
+    let design = EquiNoxDesign {
+        placement,
+        selection: mcts.selection.clone(),
+    };
+    let segs = design.segments();
+    let ev = evaluate(&problem, &design.selection, &weights);
+    println!("Stage 3 — physical checks on the MCTS design:");
+    println!(
+        "  {} interposer links | {} crossings | {} RDL layer(s) | {} µbumps | avg hops {:.2}",
+        design.num_links(),
+        count_crossings(&segs),
+        design.rdl_layers(),
+        design.ubump_count(128),
+        ev.avg_hops
+    );
+    println!(
+        "  every wire single-cycle on a passive interposer: {}",
+        problem.wire.all_single_cycle(&segs)
+    );
+}

@@ -1,0 +1,23 @@
+#![warn(missing_docs)]
+//! `equinox-suite` — umbrella crate for the EquiNox reproduction.
+//!
+//! Re-exports every crate of the workspace so examples and downstream
+//! users can depend on one name:
+//!
+//! * [`core`] — the EquiNox system (schemes, NIs, simulation, metrics)
+//! * [`noc`] — the cycle-accurate NoC simulator
+//! * [`traffic`] — GPU traffic model and the 29 benchmark profiles
+//! * [`hbm`] — the HBM stack model
+//! * [`power`] — DSENT-style energy/area models
+//! * [`placement`] — CB placement engines (N-Queen, Diamond, …)
+//! * [`mcts`] — the EIR design-space search (MCTS, GA, SA)
+//! * [`phys`] — interposer physics (wires, crossings, µbumps)
+
+pub use equinox_core as core;
+pub use equinox_hbm as hbm;
+pub use equinox_mcts as mcts;
+pub use equinox_noc as noc;
+pub use equinox_phys as phys;
+pub use equinox_placement as placement;
+pub use equinox_power as power;
+pub use equinox_traffic as traffic;

@@ -1,0 +1,49 @@
+//! Reproducibility: every layer of the stack is deterministic in its
+//! seed, so published numbers can be regenerated bit-for-bit.
+
+use equinox_suite::core::{EquiNoxDesign, SchemeKind, System, SystemConfig};
+use equinox_suite::traffic::{profile::benchmark, Workload};
+
+fn run(seed: u64) -> (u64, f64) {
+    let workload = Workload::new(benchmark("hotspot").unwrap(), 0.08, seed);
+    let cfg = SystemConfig::new(SchemeKind::SeparateBase, 8, workload);
+    let m = System::build(cfg).run();
+    (m.cycles, m.energy_j())
+}
+
+#[test]
+fn same_seed_same_run() {
+    let a = run(11);
+    let b = run(11);
+    assert_eq!(a.0, b.0, "cycle counts must match exactly");
+    assert_eq!(a.1, b.1, "energy must match exactly");
+}
+
+#[test]
+fn different_seeds_differ() {
+    let a = run(11);
+    let b = run(12);
+    assert_ne!(a.0, b.0, "different traffic must change the run");
+}
+
+#[test]
+fn design_search_is_deterministic() {
+    let a = EquiNoxDesign::search_k(8, 8, 300, 5, 1);
+    let b = EquiNoxDesign::search_k(8, 8, 300, 5, 1);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn equinox_run_with_fixed_design_is_deterministic() {
+    let design = EquiNoxDesign::search_k(8, 8, 200, 5, 1);
+    let go = || {
+        let workload = Workload::new(benchmark("bfs").unwrap(), 0.08, 3);
+        let mut cfg = SystemConfig::new(SchemeKind::EquiNox, 8, workload);
+        cfg.design = Some(design.clone());
+        System::build(cfg).run()
+    };
+    let a = go();
+    let b = go();
+    assert_eq!(a.cycles, b.cycles);
+    assert_eq!(a.latency.total_ns(), b.latency.total_ns());
+}
