@@ -1,7 +1,7 @@
 //! `designer` — run the EquiNox design pipeline and save the result.
 //!
 //! ```text
-//! designer [--n 8] [--cbs 8] [--iters 4000] [--seed 7] [--out design.txt] [--svg design.svg]
+//! designer [--n 8] [--cbs 8] [--iters 4000] [--seed 7] [--out design.txt] [--svg design.svg] [--threads N]
 //! ```
 //!
 //! Searches the N-Queen placement + MCTS EIR selection for the requested
@@ -34,6 +34,9 @@ fn main() {
     let cbs: u16 = arg(&args, "--cbs", 8);
     let iters: usize = arg(&args, "--iters", 4_000);
     let seed: u64 = arg(&args, "--seed", 7);
+    if args.iter().any(|a| a == "--threads") {
+        equinox_exec::set_threads(arg(&args, "--threads", 0usize));
+    }
 
     eprintln!("searching: {n}x{n} mesh, {cbs} CBs, {iters} MCTS iterations, seed {seed}…");
     let start = std::time::Instant::now();

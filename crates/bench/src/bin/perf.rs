@@ -1,0 +1,74 @@
+//! `perf` — micro-benchmark of the simulation substrate itself.
+//!
+//! ```text
+//! perf [--scale S] [--threads N] [--quick]
+//! ```
+//!
+//! Reports two numbers as a single JSON line on stdout:
+//!
+//! * `single_cycles_per_sec` — simulated cycles per wall-clock second of
+//!   one full-system run (the hot-loop figure of merit; this is what the
+//!   allocation-free `Network::step()` refactor speeds up), and
+//! * `sweep_wall_s` — wall-clock seconds for the quick scheme × benchmark
+//!   repro sweep on the worker pool (the parallel-fan-out figure of
+//!   merit).
+//!
+//! The EquiNox design search is pre-warmed outside both timed regions so
+//! the numbers measure the simulator, not the one-off MCTS. A committed
+//! baseline lives in `BENCH_perf.json`; `scripts/check.sh` compares
+//! `single_cycles_per_sec` against it with a tolerance band.
+
+use equinox_bench::{design_for, run_matrix, run_one, QUICK_BENCHES};
+use equinox_core::SchemeKind;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = args
+        .iter()
+        .position(|a| a == "--scale")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse::<f64>().ok())
+        .unwrap_or(0.3);
+    if let Some(t) = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse::<usize>().ok())
+    {
+        equinox_exec::set_threads(t);
+    }
+    let quick = args.iter().any(|a| a == "--quick");
+    let seeds: [u64; 2] = [42, 7];
+
+    // Warm everything the timed regions would otherwise pay for once:
+    // the cached 8×8 EquiNox design and the allocator's steady state.
+    eprintln!("warming design cache + hot loop…");
+    let _ = design_for(8);
+    let _ = run_one(SchemeKind::SeparateBase, 8, "kmeans", scale, 1);
+
+    // Single-simulation cycle rate (sequential hot loop).
+    let reps = if quick { 1 } else { 3 };
+    let mut best_rate = 0f64;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let m = run_one(SchemeKind::SeparateBase, 8, "kmeans", scale, 1);
+        let rate = m.cycles as f64 / t0.elapsed().as_secs_f64();
+        best_rate = best_rate.max(rate);
+    }
+
+    // Quick repro sweep (7 schemes × 6 benchmarks × 2 seeds) on the pool.
+    let t0 = Instant::now();
+    let rows = run_matrix(&SchemeKind::ALL, 8, &QUICK_BENCHES, scale, &seeds);
+    let sweep_wall_s = t0.elapsed().as_secs_f64();
+    let sims = rows.iter().map(|r| r.len()).sum::<usize>() * seeds.len();
+
+    println!(
+        "{{\"single_cycles_per_sec\": {:.0}, \"sweep_wall_s\": {:.3}, \"sweep_sims\": {}, \"threads\": {}, \"scale\": {}}}",
+        best_rate,
+        sweep_wall_s,
+        sims,
+        equinox_exec::thread_count(),
+        scale
+    );
+}

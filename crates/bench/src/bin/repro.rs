@@ -6,10 +6,12 @@
 //!
 //! `fig9`/`fig10` default to the 6-benchmark quick subset; pass `--full`
 //! for all 29 benchmarks (a few minutes). `--scale` multiplies the per-PE
-//! instruction quota (default 0.5).
+//! instruction quota (default 0.5). The scheme × benchmark sweeps fan
+//! out across cores; `--threads N` (or `EQUINOX_THREADS=N`) pins the
+//! worker count — results are identical either way.
 
 use equinox_bench::{
-    all_bench_names, design_for, run_seeds, strong_design_8x8, QUICK_BENCHES,
+    all_bench_names, design_for, run_matrix, run_seeds, strong_design_8x8, QUICK_BENCHES,
 };
 use equinox_core::heatmap::placement_heatmap;
 use equinox_core::{EquiNoxDesign, RunMetrics, SchemeKind};
@@ -35,6 +37,14 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .and_then(|s| s.parse::<f64>().ok())
         .unwrap_or(0.5);
+    if let Some(t) = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse::<usize>().ok())
+    {
+        equinox_exec::set_threads(t);
+    }
 
     match cmd {
         "table1" => table1(),
@@ -103,9 +113,11 @@ fn fig4() {
         ("Diamond", Placement::diamond(8, 8, 8)),
         ("N-Queen", best_nqueen_placement(8, 8, usize::MAX, 0)),
     ];
+    let heats = equinox_exec::par_map(placements, |_, (name, p)| {
+        (name, placement_heatmap(&p, 0.85, 8_000, 1))
+    });
     let mut rows = Vec::new();
-    for (name, p) in placements {
-        let h = placement_heatmap(&p, 0.85, 8_000, 1);
+    for (name, h) in heats {
         rows.push((name, h.variance));
         println!("-- {name} (variance {:.2}) --\n{}", h.variance, h.render());
     }
@@ -227,16 +239,9 @@ fn fig9(full: bool, scale: f64) {
     } else {
         QUICK_BENCHES.to_vec()
     };
-    // Simulate once; derive all three tables from the same runs.
-    let all_runs: Vec<Vec<RunMetrics>> = benches
-        .iter()
-        .map(|bench| {
-            SchemeKind::ALL
-                .iter()
-                .map(|&s| run_seeds(s, 8, bench, scale, &SEEDS))
-                .collect()
-        })
-        .collect();
+    // Simulate once (each scheme × benchmark cell in parallel); derive
+    // all three tables from the same runs.
+    let all_runs: Vec<Vec<RunMetrics>> = run_matrix(&SchemeKind::ALL, 8, &benches, scale, &SEEDS);
     print_table(
         "Figure 9(a): normalized execution time (paper geomeans: EquiNox 0.523, CMesh 0.621)",
         &benches,
@@ -263,10 +268,11 @@ fn fig10(scale: f64) {
         "{:18}{:>10}{:>10}{:>10}{:>10}{:>10}",
         "scheme", "req_queue", "req_net", "rep_queue", "rep_net", "total"
     );
-    for scheme in SchemeKind::ALL {
+    let runs = run_matrix(&SchemeKind::ALL, 8, &QUICK_BENCHES, scale, &SEEDS);
+    for (si, scheme) in SchemeKind::ALL.into_iter().enumerate() {
         let mut qs = [Vec::new(), Vec::new(), Vec::new(), Vec::new()];
-        for bench in QUICK_BENCHES {
-            let m = run_seeds(scheme, 8, bench, scale, &SEEDS);
+        for row in &runs {
+            let m = &row[si];
             qs[0].push(m.latency.req_queue_ns.max(0.01));
             qs[1].push(m.latency.req_net_ns.max(0.01));
             qs[2].push(m.latency.rep_queue_ns.max(0.01));
@@ -310,9 +316,16 @@ fn fig11() {
 
 fn fig12(scale: f64) {
     header("Figure 12: scalability — EquiNox IPC vs SeparateBase (paper: 1.23x/1.31x/1.30x)");
-    for n in [8u16, 12, 16] {
-        let s = run_seeds(SchemeKind::SeparateBase, n, "kmeans", scale, &SEEDS);
-        let e = run_seeds(SchemeKind::EquiNox, n, "kmeans", scale, &SEEDS);
+    let sizes = [8u16, 12, 16];
+    let jobs: Vec<(u16, SchemeKind)> = sizes
+        .iter()
+        .flat_map(|&n| [(n, SchemeKind::SeparateBase), (n, SchemeKind::EquiNox)])
+        .collect();
+    let runs = equinox_exec::par_map(jobs, |_, (n, scheme)| {
+        run_seeds(scheme, n, "kmeans", scale, &SEEDS)
+    });
+    for (i, &n) in sizes.iter().enumerate() {
+        let (s, e) = (&runs[2 * i], &runs[2 * i + 1]);
         println!(
             "  {n:2}x{n:<2}  SeparateBase IPC {:6.2}  EquiNox IPC {:6.2}  speedup {:.2}x",
             s.ipc,

@@ -1,11 +1,13 @@
 //! `sweep` — reply-network load–latency curves as CSV.
 //!
 //! ```text
-//! sweep [--n 8] [--cycles 6000] [--out curve.csv]
+//! sweep [--n 8] [--cycles 6000] [--out curve.csv] [--threads N]
 //! ```
 //!
 //! Emits `offered,baseline_latency,baseline_throughput,equinox_latency,
-//! equinox_throughput` rows, ready for plotting.
+//! equinox_throughput` rows, ready for plotting. The 20 rate points of
+//! each curve run in parallel on the worker pool; `--threads` (or
+//! `EQUINOX_THREADS`) pins the worker count without changing the output.
 
 use equinox_core::loadlat::{load_latency_curve, ReplySide};
 use equinox_core::EquiNoxDesign;
@@ -21,6 +23,9 @@ fn main() {
     };
     let n = get("--n", 8) as u16;
     let cycles = get("--cycles", 6_000);
+    if args.iter().any(|a| a == "--threads") {
+        equinox_exec::set_threads(get("--threads", 0) as usize);
+    }
     let out = args
         .iter()
         .position(|a| a == "--out")

@@ -81,6 +81,40 @@ pub fn run_seeds(scheme: SchemeKind, n: u16, bench: &str, scale: f64, seeds: &[u
     rep
 }
 
+/// Runs the full `benches × schemes` sweep matrix on the
+/// [`equinox_exec`] worker pool and returns it bench-major
+/// (`result[bi][si]` = benchmark `bi` under scheme `si`).
+///
+/// Every cell is an independent, seed-deterministic job, and
+/// [`equinox_exec::par_map`] returns results in input order, so the
+/// output is identical for any worker count — the determinism
+/// regression tests in `tests/determinism.rs` pin this down.
+pub fn run_matrix(
+    schemes: &[SchemeKind],
+    n: u16,
+    benches: &[&str],
+    scale: f64,
+    seeds: &[u64],
+) -> Vec<Vec<RunMetrics>> {
+    // The EquiNox design is searched once behind a OnceLock; force it
+    // before the fan-out so one worker doesn't hold the rest hostage.
+    if schemes.contains(&SchemeKind::EquiNox) {
+        let _ = design_for(n);
+    }
+    let jobs: Vec<(usize, usize)> = (0..benches.len())
+        .flat_map(|bi| (0..schemes.len()).map(move |si| (bi, si)))
+        .collect();
+    let cells = equinox_exec::par_map(jobs, |_, (bi, si)| {
+        run_seeds(schemes[si], n, benches[bi], scale, seeds)
+    });
+    let mut rows: Vec<Vec<RunMetrics>> = Vec::with_capacity(benches.len());
+    let mut it = cells.into_iter();
+    for _ in 0..benches.len() {
+        rows.push(it.by_ref().take(schemes.len()).collect());
+    }
+    rows
+}
+
 /// The benchmark subset used by quick modes (network-heavy + light).
 pub const QUICK_BENCHES: [&str; 6] = [
     "kmeans",

@@ -14,8 +14,7 @@ use crate::ni::InjectionQueue;
 use equinox_hbm::{HbmConfig, HbmStack, MemAccess};
 use equinox_noc::flit::MessageClass;
 use equinox_phys::Coord;
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use equinox_exec::Rng;
 use std::collections::VecDeque;
 
 /// One cache bank with its memory controller and HBM stack.
@@ -32,7 +31,7 @@ pub struct CacheBank {
     /// Probability a read reply's line compresses to half size (0 = the
     /// base EquiNox system; >0 enables the §7 coalescing extension).
     compression: f64,
-    rng: StdRng,
+    rng: Rng,
     /// Requests that hit, due to reply at the stored cycle (sorted FIFO —
     /// latency is constant so push order is due order).
     hits_due: VecDeque<(u64, u64)>,
@@ -67,7 +66,7 @@ impl CacheBank {
             hit_rate,
             compression: 0.0,
             l2_latency,
-            rng: StdRng::seed_from_u64(seed ^ 0xCB),
+            rng: Rng::seed_from_u64(seed ^ 0xCB),
             hits_due: VecDeque::new(),
             hbm_retry: VecDeque::new(),
             hbm: HbmStack::new(hbm_cfg),

@@ -9,11 +9,10 @@ use equinox_phys::BumpModel;
 use equinox_placement::nqueen::{solutions_limited, to_placement};
 use equinox_placement::select::best_nqueen_placement;
 use equinox_placement::{Placement, PlacementScorer};
-use serde::{Deserialize, Serialize};
 
 /// A complete EquiNox design: where the CBs sit and which routers serve
 /// as their EIRs.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EquiNoxDesign {
     /// The N-Queen-scored CB placement.
     pub placement: Placement,
@@ -45,8 +44,12 @@ impl EquiNoxDesign {
         } else {
             vec![best_nqueen_placement(n, n_cbs, max_solutions, seed)]
         };
-        let mut best: Option<(f64, EquiNoxDesign)> = None;
-        for placement in candidates {
+        // One MCTS per candidate placement, fanned out on the worker
+        // pool. Each search is a pure function of (placement, seed) and
+        // `par_map` preserves input order, so the best-cost scan below
+        // (first-wins tie-break) picks the same design for any worker
+        // count — matching the old sequential loop exactly.
+        let searched = equinox_exec::par_map(candidates, |_, placement| {
             let problem = EirProblem::new(placement.clone());
             let result = search(
                 &problem,
@@ -56,14 +59,18 @@ impl EquiNoxDesign {
                     ..Default::default()
                 },
             );
-            if best.as_ref().is_none_or(|(c, _)| result.eval.cost < *c) {
-                best = Some((
-                    result.eval.cost,
-                    EquiNoxDesign {
-                        placement,
-                        selection: result.selection,
-                    },
-                ));
+            (
+                result.eval.cost,
+                EquiNoxDesign {
+                    placement,
+                    selection: result.selection,
+                },
+            )
+        });
+        let mut best: Option<(f64, EquiNoxDesign)> = None;
+        for (cost, design) in searched {
+            if best.as_ref().is_none_or(|(c, _)| cost < *c) {
+                best = Some((cost, design));
             }
         }
         best.expect("at least one placement searched").1

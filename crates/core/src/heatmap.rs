@@ -12,8 +12,7 @@ use equinox_noc::flit::{Flit, MessageClass, PacketDesc};
 use equinox_noc::network::Network;
 use equinox_phys::Coord;
 use equinox_placement::Placement;
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use equinox_exec::Rng;
 
 /// Result of a heat-map run.
 #[derive(Debug, Clone)]
@@ -49,7 +48,7 @@ pub fn placement_heatmap(placement: &Placement, offered: f64, cycles: u64, seed:
     assert_eq!(placement.width, placement.height, "square meshes only");
     let n = placement.width;
     let mut net = Network::mesh(NocConfig::mesh(n));
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let pes: Vec<Coord> = placement.pe_tiles().collect();
     let mut pkt_id = 0u64;
     // Per-CB injection state: queued flits of the packet being streamed.

@@ -12,8 +12,7 @@ use equinox_noc::link::LinkKind;
 use equinox_noc::network::{InjectorId, Network};
 use equinox_phys::Coord;
 use equinox_placement::Placement;
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use equinox_exec::Rng;
 use std::collections::HashMap;
 
 use crate::design::EquiNoxDesign;
@@ -42,8 +41,11 @@ pub enum ReplySide {
 }
 
 /// Sweeps `offered` reply loads (packets per CB per cycle) on the reply
-/// network alone and returns one [`LoadPoint`] per rate. Deterministic in
-/// `seed`.
+/// network alone and returns one [`LoadPoint`] per rate. Each rate is an
+/// independent simulation, so the sweep fans out on the
+/// [`equinox_exec`] worker pool; results come back in input order and
+/// every point is a pure function of `(rate, seed)`, so the curve is
+/// identical for any worker count. Deterministic in `seed`.
 ///
 /// # Panics
 ///
@@ -57,13 +59,12 @@ pub fn load_latency_curve(
     seed: u64,
 ) -> Vec<LoadPoint> {
     assert_eq!(placement.width, placement.height, "square meshes only");
-    offered
-        .iter()
-        .map(|&rate| {
-            assert!(rate > 0.0 && rate <= 1.0, "offered rate {rate} out of (0,1]");
-            measure(placement, side, rate, cycles, seed)
-        })
-        .collect()
+    for &rate in offered {
+        assert!(rate > 0.0 && rate <= 1.0, "offered rate {rate} out of (0,1]");
+    }
+    equinox_exec::par_map(offered.to_vec(), |_, rate| {
+        measure(placement, side, rate, cycles, seed)
+    })
 }
 
 fn measure(
@@ -76,7 +77,7 @@ fn measure(
     let n = placement.width;
     let mut net = Network::mesh(NocConfig::mesh(n));
     let mut tracker = PacketTracker::new();
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let pes: Vec<Coord> = placement.pe_tiles().collect();
 
     // Build the CB-side NIs.

@@ -2,11 +2,10 @@
 
 use crate::msg::LatencyBreakdown;
 use crate::scheme::SchemeKind;
-use serde::{Deserialize, Serialize};
 
 /// Everything one full-system run produces — the raw material for every
 /// figure in §6.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RunMetrics {
     /// The scheme simulated.
     pub scheme: SchemeKind,

@@ -14,10 +14,9 @@
 
 use equinox_noc::flit::{MessageClass, PacketDesc};
 use equinox_phys::Coord;
-use serde::{Deserialize, Serialize};
 
 /// Read or write.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MemOpKind {
     /// Load: short request, long reply.
     Read,
@@ -31,7 +30,7 @@ pub const HEADER_BYTES: u32 = 8;
 pub const LINE_BYTES: u32 = 64;
 
 /// A protocol message between a PE and a cache bank.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Message {
     /// Tracker-issued packet id.
     pub id: u64,
@@ -92,7 +91,7 @@ impl Message {
 }
 
 /// Lifecycle timestamps and metadata of one packet.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PacketRecord {
     /// Source tile (original mesh coordinates).
     pub src: Coord,
@@ -115,7 +114,7 @@ pub struct PacketRecord {
 }
 
 /// Per-class latency split in nanoseconds (Figure 10's four bars).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct LatencyBreakdown {
     /// Request source-queuing latency.
     pub req_queue_ns: f64,

@@ -1,10 +1,9 @@
 //! The seven evaluated schemes (§5).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// One of the paper's seven compared NoC organizations.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SchemeKind {
     /// Single shared physical network, Diamond placement, minimal
     /// adaptive routing (baseline 1).

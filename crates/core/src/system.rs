@@ -93,6 +93,12 @@ pub struct System {
     /// Average interposer-link length per net, mm (for energy).
     rdl_link_mm: Vec<f64>,
     pes: Vec<Option<Pe>>,
+    /// `retired[idx]` mirrors `pes[idx].done()`; with `done_pes` it turns
+    /// the per-cycle O(n_PEs) done-scan into an O(1) counter check
+    /// (`Pe::done()` is absorbing, so a flag never needs clearing).
+    retired: Vec<bool>,
+    done_pes: usize,
+    live_pes: usize,
     req_nis: Vec<Option<InjectionQueue>>,
     cbs: Vec<CacheBank>,
     rep_nis: Vec<InjectionQueue>,
@@ -423,9 +429,18 @@ impl System {
 
         let total_instrs = cfg.workload.total_instrs(pe_count);
         let steps = steps_per_two.clone();
+        let retired: Vec<bool> = pes
+            .iter()
+            .map(|p| p.as_ref().is_some_and(|pe| pe.done()))
+            .collect();
+        let done_pes = retired.iter().filter(|&&r| r).count();
+        let live_pes = pes.iter().flatten().count();
         System {
             placement,
             nets,
+            retired,
+            done_pes,
+            live_pes,
             step_accum: vec![0; steps.len()],
             steps_per_two: steps,
             mesh_links_in_rdl,
@@ -478,6 +493,11 @@ impl System {
                     .create(src, dst, MessageClass::Request, kind, op.addr, t);
                 ni.push(msg);
             }
+            // A compute-only quota can retire to completion inside tick().
+            if !self.retired[idx] && self.pes[idx].as_ref().is_some_and(|pe| pe.done()) {
+                self.retired[idx] = true;
+                self.done_pes += 1;
+            }
         }
         // NIs stream flits into the networks.
         for ni in self.req_nis.iter_mut().flatten() {
@@ -499,10 +519,14 @@ impl System {
             while let Some(f) = self.nets[net].pop_ejected(r, p) {
                 if f.is_tail() {
                     self.tracker.mark_ejected(f.pkt.0, t);
-                    self.pes[node]
+                    let pe = self.pes[node]
                         .as_mut()
-                        .expect("reply sink belongs to a PE")
-                        .complete();
+                        .expect("reply sink belongs to a PE");
+                    pe.complete();
+                    if !self.retired[node] && pe.done() {
+                        self.retired[node] = true;
+                        self.done_pes += 1;
+                    }
                 }
             }
         }
@@ -524,9 +548,14 @@ impl System {
     }
 
     /// `true` when every PE has retired its quota and received every
-    /// reply.
+    /// reply. O(1): maintained as a retired-PE counter by [`System::step`].
     pub fn done(&self) -> bool {
-        self.pes.iter().flatten().all(|pe| pe.done())
+        debug_assert_eq!(
+            self.done_pes == self.live_pes,
+            self.pes.iter().flatten().all(|pe| pe.done()),
+            "retired-PE counter out of sync with PE state"
+        );
+        self.done_pes == self.live_pes
     }
 
     /// Runs to completion (or the cycle cap) and reports metrics.

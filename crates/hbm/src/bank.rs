@@ -1,10 +1,9 @@
 //! DRAM bank state: open row tracking and per-access latency.
 
 use crate::config::HbmTiming;
-use serde::{Deserialize, Serialize};
 
 /// Row-buffer outcome of an access, in decreasing speed order.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RowOutcome {
     /// Requested row already open: column access only.
     Hit,

@@ -5,10 +5,9 @@
 //! HBM2's 1 GHz that keeps the whole simulation on one clock. The default
 //! values are HBM2-class (tRCD/tRP/tCL ≈ 14 ns, 64 B bursts).
 
-use serde::{Deserialize, Serialize};
 
 /// DRAM timing parameters, in controller cycles.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HbmTiming {
     /// Activate-to-read delay (row open).
     pub t_rcd: u64,
@@ -35,7 +34,7 @@ impl Default for HbmTiming {
 }
 
 /// Configuration of one HBM stack (one per memory controller / CB).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HbmConfig {
     /// Channels per stack (Table 1 / §5: 16 channels per chip).
     pub channels: usize,

@@ -1,17 +1,21 @@
-//! Property-based tests for the HBM model: every accepted access
-//! completes exactly once, and timing respects the DRAM floor.
+//! Randomized (seeded, deterministic) tests for the HBM model: every
+//! accepted access completes exactly once, and timing respects the
+//! DRAM floor.
 
+use equinox_exec::Rng;
 use equinox_hbm::{HbmConfig, HbmStack, MemAccess};
-use proptest::prelude::*;
 use std::collections::BTreeSet;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+const CASES: u64 = 32;
 
-    #[test]
-    fn accepted_accesses_complete_exactly_once(
-        addrs in prop::collection::vec((0u64..1u64 << 20, prop::bool::ANY), 1..60)
-    ) {
+#[test]
+fn accepted_accesses_complete_exactly_once() {
+    for case in 0..CASES {
+        let mut rng = Rng::stream(0x4B1, case);
+        let n = rng.random_range(1usize..60);
+        let addrs: Vec<(u64, bool)> = (0..n)
+            .map(|_| (rng.random_range(0u64..1 << 20), rng.random::<bool>()))
+            .collect();
         let cfg = HbmConfig::tiny();
         let mut stack = HbmStack::new(cfg);
         let mut accepted = BTreeSet::new();
@@ -33,28 +37,38 @@ proptest! {
             });
             stack.step(t);
             while let Some(c) = stack.pop_completed() {
-                prop_assert!(done.insert(c.id), "duplicate completion {}", c.id);
-                prop_assert!(c.finished_at >= floor, "faster than CAS+burst");
+                assert!(done.insert(c.id), "duplicate completion {}", c.id);
+                assert!(c.finished_at >= floor, "faster than CAS+burst");
             }
             if pending.is_empty() && done.len() == accepted.len() {
                 break;
             }
         }
-        prop_assert_eq!(done.len(), addrs.len(), "every access must finish");
-        prop_assert_eq!(stack.outstanding(), 0);
+        assert_eq!(done.len(), addrs.len(), "every access must finish");
+        assert_eq!(stack.outstanding(), 0);
     }
+}
 
-    #[test]
-    fn row_stats_account_for_all_accesses(
-        addrs in prop::collection::vec(0u64..1u64 << 18, 1..40)
-    ) {
+#[test]
+fn row_stats_account_for_all_accesses() {
+    for case in 0..CASES {
+        let mut rng = Rng::stream(0x4B2, case);
+        let n = rng.random_range(1usize..40);
+        let addrs: Vec<u64> = (0..n).map(|_| rng.random_range(0u64..1 << 18)).collect();
         let mut stack = HbmStack::new(HbmConfig::tiny());
         let mut submitted = 0u64;
         let mut i = 0usize;
         for t in 0..50_000u64 {
             if i < addrs.len()
                 && stack
-                    .enqueue(MemAccess { id: i as u64, addr: addrs[i] & !63, write: false }, t)
+                    .enqueue(
+                        MemAccess {
+                            id: i as u64,
+                            addr: addrs[i] & !63,
+                            write: false,
+                        },
+                        t,
+                    )
                     .is_ok()
             {
                 submitted += 1;
@@ -67,6 +81,6 @@ proptest! {
             }
         }
         let (h, m, c) = stack.row_stats();
-        prop_assert_eq!(h + m + c, submitted, "every issue hits/misses/conflicts");
+        assert_eq!(h + m + c, submitted, "every issue hits/misses/conflicts");
     }
 }

@@ -17,10 +17,9 @@
 use crate::problem::{EirProblem, EirSelection};
 use equinox_phys::segment::count_crossings;
 use equinox_phys::Coord;
-use serde::{Deserialize, Serialize};
 
 /// Weights of the four metrics (default: equal, as in the paper).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EvalWeights {
     /// Weight of the max-EIR-load term.
     pub load: f64,
@@ -51,7 +50,7 @@ impl Default for EvalWeights {
 }
 
 /// The evaluated metrics of one selection.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Evaluation {
     /// Highest per-injection-point load in PE-traffic units.
     pub max_load: f64,

@@ -10,12 +10,10 @@ use crate::eval::{evaluate, EvalWeights, Evaluation};
 use crate::problem::{EirProblem, EirSelection};
 use crate::tree::SearchResult;
 use equinox_phys::Coord;
-use rand::rngs::StdRng;
-use rand::RngExt;
-use serde::{Deserialize, Serialize};
+use equinox_exec::Rng;
 
 /// GA parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GaConfig {
     /// Population size.
     pub population: usize,
@@ -88,7 +86,7 @@ fn argmin(pop: &[(EirSelection, Evaluation)]) -> usize {
         .expect("population nonempty")
 }
 
-fn tournament(pop: &[(EirSelection, Evaluation)], rng: &mut StdRng) -> usize {
+fn tournament(pop: &[(EirSelection, Evaluation)], rng: &mut Rng) -> usize {
     let a = rng.random_range(0..pop.len());
     let b = rng.random_range(0..pop.len());
     if pop[a].1.cost <= pop[b].1.cost {
@@ -104,7 +102,7 @@ fn crossover(
     a: &EirSelection,
     b: &EirSelection,
     mutation: f64,
-    rng: &mut StdRng,
+    rng: &mut Rng,
 ) -> EirSelection {
     let n = a.groups.len();
     let mut groups: Vec<Vec<Coord>> = Vec::with_capacity(n);

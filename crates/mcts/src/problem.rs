@@ -16,12 +16,10 @@
 use equinox_phys::{Coord, WireModel};
 use equinox_phys::segment::Segment;
 use equinox_placement::Placement;
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
-use serde::{Deserialize, Serialize};
+use equinox_exec::Rng;
 
 /// The eight relative directions an EIR can sit in w.r.t. its CB.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Octant {
     /// Directly north (Δx = 0, Δy < 0).
     N,
@@ -64,7 +62,7 @@ pub fn octant(from: Coord, to: Coord) -> Octant {
 }
 
 /// A complete EIR assignment: `groups[i]` are the EIRs of CB `i`.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EirSelection {
     /// One EIR group per cache bank, in CB order.
     pub groups: Vec<Vec<Coord>>,
@@ -170,7 +168,7 @@ impl EirProblem {
     /// soft analogue of the paper's observation that close-in EIRs bypass
     /// the hot zone with shorter wires and fewer crossings. Three-hop
     /// EIRs remain reachable, so the search can still disagree.
-    pub fn sample_group(&self, i: usize, used: &[Coord], rng: &mut StdRng) -> Vec<Coord> {
+    pub fn sample_group(&self, i: usize, used: &[Coord], rng: &mut Rng) -> Vec<Coord> {
         let cb = self.placement.cbs[i];
         let mut cands: Vec<(f64, Coord)> = self
             .candidates(i)
@@ -220,7 +218,7 @@ impl EirProblem {
     pub fn random_completion(
         &self,
         partial: &[Vec<Coord>],
-        rng: &mut StdRng,
+        rng: &mut Rng,
     ) -> EirSelection {
         let order = self.cb_order();
         let n = self.placement.cbs.len();
@@ -240,8 +238,8 @@ impl EirProblem {
 
     /// Deterministic RNG for a seed (all searches in this crate are
     /// reproducible).
-    pub fn rng(seed: u64) -> StdRng {
-        StdRng::seed_from_u64(seed)
+    pub fn rng(seed: u64) -> Rng {
+        Rng::seed_from_u64(seed)
     }
 }
 

@@ -7,11 +7,9 @@
 use crate::eval::{evaluate, EvalWeights};
 use crate::problem::EirProblem;
 use crate::tree::SearchResult;
-use rand::RngExt;
-use serde::{Deserialize, Serialize};
 
 /// SA parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SaConfig {
     /// Total proposed moves.
     pub steps: usize,

@@ -6,11 +6,10 @@
 //! simulator implements — it is not configurable because none of the seven
 //! schemes varies it).
 
-use serde::{Deserialize, Serialize};
 use std::ops::Range;
 
 /// Routing algorithm for a network.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RoutingKind {
     /// Dimension-ordered X-then-Y routing. Deterministic, deadlock-free.
     Xy,
@@ -21,7 +20,7 @@ pub enum RoutingKind {
 }
 
 /// How virtual channels are shared between message classes.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum VcPartition {
     /// All VCs belong to whatever class the network carries — used by the
     /// separate-network schemes where request and reply have their own
@@ -64,7 +63,7 @@ impl VcPartition {
 }
 
 /// Full configuration of one physical network.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NocConfig {
     /// Mesh width in routers.
     pub width: u16,

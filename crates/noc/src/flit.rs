@@ -7,11 +7,10 @@
 //! is what makes the reply network carry ~3/4 of all NoC bits (§2.2).
 
 use equinox_phys::Coord;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Globally-unique packet identifier (assigned by the traffic layer).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct PacketId(pub u64);
 
 impl fmt::Display for PacketId {
@@ -21,7 +20,7 @@ impl fmt::Display for PacketId {
 }
 
 /// Message class: the two logical networks of a throughput processor.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MessageClass {
     /// PE → CB traffic (read/write requests).
     Request,
@@ -37,7 +36,7 @@ impl MessageClass {
 }
 
 /// Immutable description of a packet before serialization into flits.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PacketDesc {
     /// Unique id.
     pub id: PacketId,
@@ -93,7 +92,7 @@ impl PacketDesc {
 /// Flits are small `Copy` values; all per-packet bookkeeping (latency
 /// accounting, reassembly) lives in the traffic layer keyed by
 /// [`Flit::pkt`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Flit {
     /// Owning packet.
     pub pkt: PacketId,

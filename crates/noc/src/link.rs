@@ -8,11 +8,10 @@
 //! energy and µbump models can account for it separately).
 
 use crate::flit::Flit;
-use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// Physical class of a link, for energy/area accounting.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum LinkKind {
     /// Regular on-die link between adjacent routers.
     Mesh,

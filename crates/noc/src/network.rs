@@ -19,11 +19,12 @@ use crate::config::NocConfig;
 use crate::flit::{Flit, MessageClass};
 use crate::link::{CreditDst, Link, LinkKind};
 use crate::router::{OutputRole, Router, PORT_LOCAL};
-use crate::routing::{candidates, dor_direction};
+use crate::routing::{candidate_set, dor_direction};
 use crate::stats::NetStats;
 use crate::trace::{Trace, TraceEvent, TraceKind};
 use equinox_phys::{Coord, Direction};
 use std::collections::VecDeque;
+use std::ops::Range;
 
 /// Handle to one injection point (an input port on some router, fed by a
 /// dedicated link with credit-based backpressure).
@@ -57,6 +58,9 @@ pub struct Network {
     local_injectors: Vec<InjectorId>,
     /// Scratch buffer for credit delivery.
     credit_scratch: Vec<u8>,
+    /// Scratch winner table for switch allocation (one slot per port of
+    /// the router currently being switched).
+    sa_winners: Vec<Option<(usize, usize)>>,
     /// Opt-in flit-event recorder (disabled by default).
     trace: Trace,
 }
@@ -90,6 +94,7 @@ impl Network {
             local_injectors: Vec::new(),
             cfg,
             credit_scratch: Vec::new(),
+            sa_winners: Vec::new(),
             trace: Trace::default(),
         };
         // Mesh links.
@@ -366,19 +371,21 @@ impl Network {
     /// VC always drains, whereas a request monopolizing reply VCs at a CB
     /// router can block the very replies whose progress the CB needs to
     /// accept more requests — a protocol deadlock.
-    fn usable_vcs(&self, ri: usize, class: MessageClass) -> (u8, Vec<u8>, Vec<u8>) {
+    fn usable_vcs(&self, ri: usize, class: MessageClass) -> (u8, Range<u8>, Range<u8>) {
         let total = self.cfg.vcs_per_port;
         let own = self.cfg.partition.range_for(class.is_reply(), total);
         let escape = own.start;
-        let vcs: Vec<u8> = own.clone().collect();
-        let mut foreign_vcs = Vec::new();
-        if self.cfg.partition.mono()
+        // VC partitions are contiguous, so both the own and the borrowed
+        // (monopolized) sets are plain ranges — no per-allocation Vecs.
+        let foreign = if self.cfg.partition.mono()
             && class == MessageClass::Reply
             && !self.routers[ri].class_present(MessageClass::Request)
         {
-            foreign_vcs.extend(self.cfg.partition.range_for(false, total));
-        }
-        (escape, vcs, foreign_vcs)
+            self.cfg.partition.range_for(false, total)
+        } else {
+            0..0
+        };
+        (escape, own, foreign)
     }
 
     /// Route computation + VC allocation for every input VC of router `ri`
@@ -408,9 +415,9 @@ impl Network {
                 debug_assert!(head.is_head(), "non-head flit awaiting allocation");
                 let (escape, usable, foreign) = self.usable_vcs(ri, head.class);
                 let grant = if head.dst == coord {
-                    self.alloc_ejection(ri, head.sink, &usable)
+                    self.alloc_ejection(ri, head.sink, usable)
                 } else {
-                    self.alloc_direction(ri, coord, head.dst, escape, &usable, &foreign)
+                    self.alloc_direction(ri, coord, head.dst, escape, usable, foreign)
                 };
                 if let Some((op, ov)) = grant {
                     let r = &mut self.routers[ri];
@@ -425,14 +432,14 @@ impl Network {
     }
 
     /// Finds a free output VC on an ejection port accepting `sink`.
-    fn alloc_ejection(&self, ri: usize, sink: u32, usable: &[u8]) -> Option<(usize, u8)> {
+    fn alloc_ejection(&self, ri: usize, sink: u32, usable: Range<u8>) -> Option<(usize, u8)> {
         let r = &self.routers[ri];
         for (op, out) in r.outputs.iter().enumerate() {
             if let OutputRole::Eject { sink: tag } = out.role {
                 if tag.is_some_and(|t| t != sink) {
                     continue;
                 }
-                for &v in usable {
+                for v in usable.clone() {
                     if out.vcs[v as usize].owner.is_none() {
                         return Some((op, v));
                     }
@@ -451,27 +458,37 @@ impl Network {
         coord: Coord,
         dst: Coord,
         escape: u8,
-        usable: &[u8],
-        foreign: &[u8],
+        usable: Range<u8>,
+        foreign: Range<u8>,
     ) -> Option<(usize, u8)> {
         let r = &self.routers[ri];
-        let mut ports: Vec<usize> = candidates(self.cfg.routing, coord, dst)
-            .into_iter()
-            .map(|d| d.index())
-            .filter(|&p| matches!(r.outputs[p].role, OutputRole::Link(_)))
-            .collect();
-        // Prefer the port with more free downstream credit (adaptive).
-        ports.sort_by_key(|&p| {
-            std::cmp::Reverse(
+        // At most two candidate ports on a mesh — keep them in a fixed
+        // pair instead of a sorted Vec.
+        let mut ports = [usize::MAX; 2];
+        let mut n_ports = 0usize;
+        for &d in candidate_set(self.cfg.routing, coord, dst).as_slice() {
+            let p = d.index();
+            if matches!(r.outputs[p].role, OutputRole::Link(_)) {
+                ports[n_ports] = p;
+                n_ports += 1;
+            }
+        }
+        // Prefer the port with more free downstream credit (adaptive);
+        // stable on ties, matching the previous stable sort.
+        if n_ports == 2 {
+            let credit_sum = |p: usize| {
                 usable
-                    .iter()
-                    .map(|&v| r.outputs[p].vcs[v as usize].credits)
-                    .sum::<u32>(),
-            )
-        });
+                    .clone()
+                    .map(|v| r.outputs[p].vcs[v as usize].credits)
+                    .sum::<u32>()
+            };
+            if credit_sum(ports[1]) > credit_sum(ports[0]) {
+                ports.swap(0, 1);
+            }
+        }
         let dor_port = dor_direction(coord, dst).map(|d| d.index());
-        for &p in &ports {
-            for &v in usable {
+        for &p in &ports[..n_ports] {
+            for v in usable.clone() {
                 let is_escape = v == escape;
                 if is_escape && Some(p) != dor_port {
                     continue; // escape VC only along the XY path
@@ -488,7 +505,7 @@ impl Network {
             // acyclic (borrowing as extra *adaptive* channels was observed
             // to wedge wormhole cycles under saturation).
             if Some(p) == dor_port {
-                for &v in foreign {
+                for v in foreign.clone() {
                     let ovc = &r.outputs[p].vcs[v as usize];
                     if ovc.owner.is_none() && ovc.credits as usize == self.cfg.vc_buf_flits {
                         return Some((p, v));
@@ -502,8 +519,12 @@ impl Network {
     /// Separable input-first switch allocation followed by traversal.
     fn switch(&mut self, ri: usize, now: u64) {
         let nports = self.routers[ri].num_ports();
-        // Input arbitration: one candidate VC per input port.
-        let mut winners: Vec<Option<(usize, usize)>> = vec![None; nports]; // (in_vc, out_port)
+        // Input arbitration: one candidate VC per input port. The winner
+        // table lives on `Network` so steady-state cycles are
+        // allocation-free (it grows once to the widest router).
+        let mut winners = std::mem::take(&mut self.sa_winners); // (in_vc, out_port)
+        winners.clear();
+        winners.resize(nports, None);
         for ip in 0..nports {
             let r = &self.routers[ri];
             let nvcs = r.inputs[ip].vcs.len();
@@ -535,22 +556,25 @@ impl Network {
             }
         }
         // Output arbitration: one input per output port, round-robin.
+        // The nearest requester past the round-robin pointer is found by
+        // a direct scan — no per-port requester Vec.
         for op in 0..nports {
-            let requesters: Vec<usize> = (0..nports)
-                .filter(|&ip| winners[ip].is_some_and(|(_, o)| o == op))
-                .collect();
-            if requesters.is_empty() {
-                continue;
-            }
             let start = self.routers[ri].outputs[op].sa_ptr;
-            let chosen = *requesters
-                .iter()
-                .min_by_key(|&&ip| (ip + nports - start) % nports)
-                .expect("nonempty");
+            let mut chosen: Option<(usize, usize)> = None; // (rr_key, ip)
+            for (ip, w) in winners.iter().enumerate() {
+                if w.is_some_and(|(_, o)| o == op) {
+                    let key = (ip + nports - start) % nports;
+                    if chosen.is_none_or(|(k, _)| key < k) {
+                        chosen = Some((key, ip));
+                    }
+                }
+            }
+            let Some((_, chosen)) = chosen else { continue };
             self.routers[ri].outputs[op].sa_ptr = (chosen + 1) % nports;
             let (iv, _) = winners[chosen].expect("winner recorded");
             self.traverse(ri, chosen, iv, op, now);
         }
+        self.sa_winners = winners;
     }
 
     /// Moves one flit from input `(ip, iv)` through output `op`.

@@ -37,6 +37,42 @@ pub fn dor_direction(cur: Coord, dst: Coord) -> Option<Direction> {
     }
 }
 
+/// Up to two directions, inline (a mesh has at most two productive
+/// directions), so per-flit route computation never touches the heap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DirSet {
+    dirs: [Direction; 2],
+    len: u8,
+}
+
+impl Default for DirSet {
+    fn default() -> Self {
+        DirSet {
+            dirs: [Direction::North; 2], // placeholder slots, len = 0
+            len: 0,
+        }
+    }
+}
+
+impl DirSet {
+    #[inline]
+    fn push(&mut self, d: Direction) {
+        self.dirs[self.len as usize] = d;
+        self.len += 1;
+    }
+
+    /// The directions, in preference order.
+    #[inline]
+    pub fn as_slice(&self) -> &[Direction] {
+        &self.dirs[..self.len as usize]
+    }
+
+    /// True when no direction is productive (already at destination).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
 /// All productive (distance-reducing) directions from `cur` to `dst`.
 /// At most two on a mesh; empty when already there.
 ///
@@ -47,7 +83,12 @@ pub fn dor_direction(cur: Coord, dst: Coord) -> Option<Direction> {
 /// assert_eq!(dirs, vec![Direction::East, Direction::North]);
 /// ```
 pub fn productive_directions(cur: Coord, dst: Coord) -> Vec<Direction> {
-    let mut dirs = Vec::with_capacity(2);
+    productive_set(cur, dst).as_slice().to_vec()
+}
+
+/// Allocation-free [`productive_directions`].
+pub fn productive_set(cur: Coord, dst: Coord) -> DirSet {
+    let mut dirs = DirSet::default();
     if cur.x < dst.x {
         dirs.push(Direction::East);
     } else if cur.x > dst.x {
@@ -66,9 +107,20 @@ pub fn productive_directions(cur: Coord, dst: Coord) -> Vec<Direction> {
 /// time). The DOR direction is always included so the escape VC has a
 /// legal port.
 pub fn candidates(kind: RoutingKind, cur: Coord, dst: Coord) -> Vec<Direction> {
+    candidate_set(kind, cur, dst).as_slice().to_vec()
+}
+
+/// Allocation-free [`candidates`] — the form the router hot path uses.
+pub fn candidate_set(kind: RoutingKind, cur: Coord, dst: Coord) -> DirSet {
     match kind {
-        RoutingKind::Xy => dor_direction(cur, dst).into_iter().collect(),
-        RoutingKind::MinimalAdaptive => productive_directions(cur, dst),
+        RoutingKind::Xy => {
+            let mut dirs = DirSet::default();
+            if let Some(d) = dor_direction(cur, dst) {
+                dirs.push(d);
+            }
+            dirs
+        }
+        RoutingKind::MinimalAdaptive => productive_set(cur, dst),
     }
 }
 

@@ -11,10 +11,9 @@
 //!   spends in each router).
 
 use crate::link::LinkKind;
-use serde::{Deserialize, Serialize};
 
 /// Aggregate event counters for one physical network.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct NetStats {
     /// Simulated cycles (of this network's clock).
     pub cycles: u64,

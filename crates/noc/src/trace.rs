@@ -5,11 +5,10 @@
 //! is off by default and costs one branch per event when disabled.
 
 use crate::flit::PacketId;
-use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// What happened to a flit.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TraceKind {
     /// A flit entered the network through an injector.
     Inject,
@@ -20,7 +19,7 @@ pub enum TraceKind {
 }
 
 /// One traced event.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TraceEvent {
     /// Cycle the event happened.
     pub cycle: u64,

@@ -1,12 +1,13 @@
-//! Property-based tests of the NoC simulator's core guarantees:
-//! every injected packet is delivered exactly once, the network drains,
-//! and the event accounting balances — under randomized traffic.
+//! Randomized (but fully deterministic, seeded) tests of the NoC
+//! simulator's core guarantees: every injected packet is delivered
+//! exactly once, the network drains, and the event accounting balances
+//! — under randomized traffic from the in-repo PRNG.
 
+use equinox_exec::Rng;
 use equinox_noc::config::{NocConfig, RoutingKind};
 use equinox_noc::flit::{Flit, MessageClass, PacketDesc};
 use equinox_noc::network::Network;
 use equinox_phys::Coord;
-use proptest::prelude::*;
 use std::collections::BTreeMap;
 
 #[derive(Debug, Clone)]
@@ -17,33 +18,35 @@ struct Traffic {
     class: MessageClass,
 }
 
-fn traffic(n: u16) -> impl Strategy<Value = Traffic> {
-    (
-        0u16..n,
-        0u16..n,
-        0u16..n,
-        0u16..n,
-        1u16..6,
-        prop::bool::ANY,
-    )
-        .prop_filter("distinct endpoints", |(sx, sy, dx, dy, _, _)| {
-            (sx, sy) != (dx, dy)
-        })
-        .prop_map(|(sx, sy, dx, dy, len, reply)| Traffic {
-            src: Coord::new(sx, sy),
-            dst: Coord::new(dx, dy),
-            len,
-            class: if reply {
+/// One random packet on an `n`×`n` mesh with distinct endpoints.
+fn traffic(n: u16, rng: &mut Rng) -> Traffic {
+    loop {
+        let src = Coord::new(rng.random_range(0..n), rng.random_range(0..n));
+        let dst = Coord::new(rng.random_range(0..n), rng.random_range(0..n));
+        if src == dst {
+            continue;
+        }
+        return Traffic {
+            src,
+            dst,
+            len: rng.random_range(1u16..6),
+            class: if rng.random::<bool>() {
                 MessageClass::Reply
             } else {
                 MessageClass::Request
             },
-        })
+        };
+    }
+}
+
+fn traffic_vec(n: u16, max_packets: usize, rng: &mut Rng) -> Vec<Traffic> {
+    let count = rng.random_range(1..max_packets);
+    (0..count).map(|_| traffic(n, rng)).collect()
 }
 
 /// Drives a random packet set through the network and checks delivery,
 /// exactly-once semantics, in-order flits per packet, and drain.
-fn exercise(mut net: Network, packets: Vec<Traffic>) -> Result<(), TestCaseError> {
+fn exercise(mut net: Network, packets: Vec<Traffic>) {
     let n = net.width();
     let mut sources: Vec<(Coord, Vec<Flit>)> = packets
         .iter()
@@ -70,7 +73,7 @@ fn exercise(mut net: Network, packets: Vec<Traffic>) -> Result<(), TestCaseError
         for t in &packets {
             while let Some(f) = net.pop_ejected_node(t.dst) {
                 let prev = last_seq.insert(f.pkt.0, f.seq as i32);
-                prop_assert!(
+                assert!(
                     prev.is_none_or(|p| p < f.seq as i32),
                     "flit reordering within packet {}",
                     f.pkt.0
@@ -78,52 +81,60 @@ fn exercise(mut net: Network, packets: Vec<Traffic>) -> Result<(), TestCaseError
                 *got.entry(f.pkt.0).or_insert(0) += 1;
             }
         }
-        if got.len() == packets.len()
-            && got.iter().all(|(id, &c)| c == packets[*id as usize].len)
+        if got.len() == packets.len() && got.iter().all(|(id, &c)| c == packets[*id as usize].len)
         {
             break;
         }
     }
     for (i, t) in packets.iter().enumerate() {
-        prop_assert_eq!(
+        assert_eq!(
             got.get(&(i as u64)).copied().unwrap_or(0),
             t.len,
-            "packet {} incomplete",
-            i
+            "packet {i} incomplete"
         );
     }
-    prop_assert!(net.quiescent(), "network must drain");
+    assert!(net.quiescent(), "network must drain");
     let s = net.stats();
-    prop_assert_eq!(s.injected_flits, s.ejected_flits);
-    prop_assert_eq!(s.buffer_reads, s.xbar_traversals);
-    Ok(())
+    assert_eq!(s.injected_flits, s.ejected_flits);
+    assert_eq!(s.buffer_reads, s.xbar_traversals);
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+const CASES: u64 = 24;
 
-    #[test]
-    fn adaptive_mesh_delivers_everything(packets in prop::collection::vec(traffic(5), 1..24)) {
-        let net = Network::mesh(NocConfig::mesh(5));
-        exercise(net, packets)?;
+#[test]
+fn adaptive_mesh_delivers_everything() {
+    for case in 0..CASES {
+        let mut rng = Rng::stream(0xAD, case);
+        let packets = traffic_vec(5, 24, &mut rng);
+        exercise(Network::mesh(NocConfig::mesh(5)), packets);
     }
+}
 
-    #[test]
-    fn xy_mesh_delivers_everything(packets in prop::collection::vec(traffic(5), 1..24)) {
+#[test]
+fn xy_mesh_delivers_everything() {
+    for case in 0..CASES {
+        let mut rng = Rng::stream(0x01, case);
+        let packets = traffic_vec(5, 24, &mut rng);
         let mut cfg = NocConfig::mesh(5);
         cfg.routing = RoutingKind::Xy;
-        exercise(Network::mesh(cfg), packets)?;
+        exercise(Network::mesh(cfg), packets);
     }
+}
 
-    #[test]
-    fn single_network_with_classes_delivers(packets in prop::collection::vec(traffic(4), 1..16)) {
-        let net = Network::mesh(NocConfig::single_net(4, false));
-        exercise(net, packets)?;
+#[test]
+fn single_network_with_classes_delivers() {
+    for case in 0..CASES {
+        let mut rng = Rng::stream(0x51, case);
+        let packets = traffic_vec(4, 16, &mut rng);
+        exercise(Network::mesh(NocConfig::single_net(4, false)), packets);
     }
+}
 
-    #[test]
-    fn vc_mono_delivers(packets in prop::collection::vec(traffic(4), 1..16)) {
-        let net = Network::mesh(NocConfig::single_net(4, true));
-        exercise(net, packets)?;
+#[test]
+fn vc_mono_delivers() {
+    for case in 0..CASES {
+        let mut rng = Rng::stream(0x7C, case);
+        let packets = traffic_vec(4, 16, &mut rng);
+        exercise(Network::mesh(NocConfig::single_net(4, true)), packets);
     }
 }

@@ -17,10 +17,9 @@
 //! ≈0.34 mm² for a denser hexagonal packing; we expose the pitch so either
 //! convention can be computed).
 
-use serde::{Deserialize, Serialize};
 
 /// µbump geometry and per-link accounting.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BumpModel {
     /// Bump pitch in micrometres (paper default: 40 µm, \[22\]).
     pub pitch_um: f64,

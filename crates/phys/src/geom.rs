@@ -7,11 +7,10 @@
 //! `x` grows to the right (east) and `y` grows downwards (south), matching
 //! the figures in the paper.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Position of a tile (router / PE / CB) on the processor-die grid.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Coord {
     /// Column index, growing eastwards.
     pub x: u16,
@@ -173,7 +172,7 @@ impl From<(u16, u16)> for Coord {
 ///
 /// The order matches the conventional mesh port numbering used by
 /// `equinox-noc` (North, East, South, West).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Direction {
     /// Towards decreasing `y`.
     North,

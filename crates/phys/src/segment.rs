@@ -12,11 +12,10 @@
 //! µbump cluster and are trivially routable on one layer.
 
 use crate::geom::Coord;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A straight interposer wire between two tile centres.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Segment {
     /// Source tile (usually a CB).
     pub a: Coord,

@@ -8,10 +8,9 @@
 //! 2 hops, which "can be fit into one clock cycle" (§4.3).
 
 use crate::segment::Segment;
-use serde::{Deserialize, Serialize};
 
 /// Physical wire model for interposer links.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WireModel {
     /// Distance between adjacent tile centres, in millimetres.
     /// A GPU-class tile (SM + router) is on the order of 1.5 mm.

@@ -1,94 +1,150 @@
-//! Property-based tests for the interposer physical model.
+//! Randomized (seeded, deterministic) tests for the interposer
+//! physical model.
 
+use equinox_exec::Rng;
 use equinox_phys::geom::{Coord, Direction};
 use equinox_phys::rdl::rdl_layers_required;
 use equinox_phys::segment::{count_crossings, Segment};
 use equinox_phys::wire::WireModel;
-use proptest::prelude::*;
 
-fn coord() -> impl Strategy<Value = Coord> {
-    (0u16..16, 0u16..16).prop_map(|(x, y)| Coord::new(x, y))
+const CASES: u64 = 256;
+
+fn coord(rng: &mut Rng) -> Coord {
+    Coord::new(rng.random_range(0u16..16), rng.random_range(0u16..16))
 }
 
-fn segment() -> impl Strategy<Value = Segment> {
-    (coord(), coord())
-        .prop_filter("nonzero wires", |(a, b)| a != b)
-        .prop_map(|(a, b)| Segment::new(a, b))
-}
-
-proptest! {
-    #[test]
-    fn manhattan_triangle_inequality(a in coord(), b in coord(), c in coord()) {
-        prop_assert!(a.manhattan(c) <= a.manhattan(b) + b.manhattan(c));
-    }
-
-    #[test]
-    fn manhattan_symmetric_chebyshev_bounded(a in coord(), b in coord()) {
-        prop_assert_eq!(a.manhattan(b), b.manhattan(a));
-        prop_assert!(a.chebyshev(b) <= a.manhattan(b));
-        prop_assert!(a.manhattan(b) <= 2 * a.chebyshev(b));
-    }
-
-    #[test]
-    fn index_roundtrip(c in coord()) {
-        prop_assert_eq!(Coord::from_index(c.to_index(16), 16), c);
-    }
-
-    #[test]
-    fn queen_attack_is_symmetric(a in coord(), b in coord()) {
-        prop_assert_eq!(a.queen_attacks(b), b.queen_attacks(a));
-    }
-
-    #[test]
-    fn step_moves_one_hop(c in coord(), d in 0usize..4) {
-        let dir = Direction::ALL[d];
-        if let Some(n) = c.step(dir, 16, 16) {
-            prop_assert_eq!(c.manhattan(n), 1);
-            prop_assert_eq!(n.step(dir.opposite(), 16, 16), Some(c));
+fn segment(rng: &mut Rng) -> Segment {
+    loop {
+        let a = coord(rng);
+        let b = coord(rng);
+        if a != b {
+            return Segment::new(a, b);
         }
     }
+}
 
-    #[test]
-    fn crossing_is_symmetric(s1 in segment(), s2 in segment()) {
-        prop_assert_eq!(s1.crosses(&s2), s2.crosses(&s1));
+fn segments(rng: &mut Rng, max: usize) -> Vec<Segment> {
+    let n = rng.random_range(0..max) as usize;
+    (0..n).map(|_| segment(rng)).collect()
+}
+
+#[test]
+fn manhattan_triangle_inequality() {
+    let mut rng = Rng::seed_from_u64(0x7A1);
+    for _ in 0..CASES {
+        let (a, b, c) = (coord(&mut rng), coord(&mut rng), coord(&mut rng));
+        assert!(a.manhattan(c) <= a.manhattan(b) + b.manhattan(c));
     }
+}
 
-    #[test]
-    fn shared_endpoints_never_cross(a in coord(), b in coord(), c in coord()) {
-        prop_assume!(a != b && a != c);
+#[test]
+fn manhattan_symmetric_chebyshev_bounded() {
+    let mut rng = Rng::seed_from_u64(0x7A2);
+    for _ in 0..CASES {
+        let (a, b) = (coord(&mut rng), coord(&mut rng));
+        assert_eq!(a.manhattan(b), b.manhattan(a));
+        assert!(a.chebyshev(b) <= a.manhattan(b));
+        assert!(a.manhattan(b) <= 2 * a.chebyshev(b));
+    }
+}
+
+#[test]
+fn index_roundtrip() {
+    let mut rng = Rng::seed_from_u64(0x7A3);
+    for _ in 0..CASES {
+        let c = coord(&mut rng);
+        assert_eq!(Coord::from_index(c.to_index(16), 16), c);
+    }
+}
+
+#[test]
+fn queen_attack_is_symmetric() {
+    let mut rng = Rng::seed_from_u64(0x7A4);
+    for _ in 0..CASES {
+        let (a, b) = (coord(&mut rng), coord(&mut rng));
+        assert_eq!(a.queen_attacks(b), b.queen_attacks(a));
+    }
+}
+
+#[test]
+fn step_moves_one_hop() {
+    let mut rng = Rng::seed_from_u64(0x7A5);
+    for _ in 0..CASES {
+        let c = coord(&mut rng);
+        let dir = Direction::ALL[rng.random_range(0usize..4)];
+        if let Some(n) = c.step(dir, 16, 16) {
+            assert_eq!(c.manhattan(n), 1);
+            assert_eq!(n.step(dir.opposite(), 16, 16), Some(c));
+        }
+    }
+}
+
+#[test]
+fn crossing_is_symmetric() {
+    let mut rng = Rng::seed_from_u64(0x7A6);
+    for _ in 0..CASES {
+        let s1 = segment(&mut rng);
+        let s2 = segment(&mut rng);
+        assert_eq!(s1.crosses(&s2), s2.crosses(&s1));
+    }
+}
+
+#[test]
+fn shared_endpoints_never_cross() {
+    let mut rng = Rng::seed_from_u64(0x7A7);
+    for _ in 0..CASES {
+        let (a, b, c) = (coord(&mut rng), coord(&mut rng), coord(&mut rng));
+        if a == b || a == c {
+            continue;
+        }
         let s1 = Segment::new(a, b);
         let s2 = Segment::new(a, c);
-        prop_assert!(!s1.crosses(&s2));
+        assert!(!s1.crosses(&s2));
     }
+}
 
-    #[test]
-    fn crossing_count_permutation_invariant(mut segs in prop::collection::vec(segment(), 0..8)) {
+#[test]
+fn crossing_count_permutation_invariant() {
+    let mut rng = Rng::seed_from_u64(0x7A8);
+    for _ in 0..CASES {
+        let mut segs = segments(&mut rng, 8);
         let n = count_crossings(&segs);
         segs.reverse();
-        prop_assert_eq!(count_crossings(&segs), n);
+        assert_eq!(count_crossings(&segs), n);
     }
+}
 
-    #[test]
-    fn rdl_layers_bounded(segs in prop::collection::vec(segment(), 0..8)) {
+#[test]
+fn rdl_layers_bounded() {
+    let mut rng = Rng::seed_from_u64(0x7A9);
+    for _ in 0..CASES {
+        let segs = segments(&mut rng, 8);
         let layers = rdl_layers_required(&segs);
-        prop_assert!(layers >= 1);
-        prop_assert!(layers <= segs.len().max(1));
+        assert!(layers >= 1);
+        assert!(layers <= segs.len().max(1));
         // Zero crossings iff one layer.
         if count_crossings(&segs) == 0 {
-            prop_assert_eq!(layers, 1);
+            assert_eq!(layers, 1);
         } else {
-            prop_assert!(layers >= 2);
+            assert!(layers >= 2);
         }
     }
+}
 
-    #[test]
-    fn wire_latency_monotone_in_length(s in segment()) {
+#[test]
+fn wire_latency_monotone_in_length() {
+    let mut rng = Rng::seed_from_u64(0x7AA);
+    for _ in 0..CASES {
+        let s = segment(&mut rng);
         let m = WireModel::default();
         let lat = m.latency_cycles(&s);
-        prop_assert!(lat >= 1);
-        prop_assert_eq!(m.fits_one_cycle(&s), lat == 1);
+        assert!(lat >= 1);
+        assert_eq!(m.fits_one_cycle(&s), lat == 1);
         // Length scales linearly with pitch.
-        let double = WireModel { tile_pitch_mm: m.tile_pitch_mm * 2.0, ..m };
-        prop_assert!(double.length_mm(&s) >= m.length_mm(&s));
+        let double = WireModel {
+            tile_pitch_mm: m.tile_pitch_mm * 2.0,
+            ..m
+        };
+        assert!(double.length_mm(&s) >= m.length_mm(&s));
     }
 }

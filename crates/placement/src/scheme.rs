@@ -5,11 +5,10 @@
 //! network of a throughput processor to motivate the N-Queen placement.
 
 use equinox_phys::Coord;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Which placement family a [`Placement`] came from.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PlacementKind {
     /// All CBs along the top row — maximal row alignment (worst case).
     Top,
@@ -42,7 +41,7 @@ impl fmt::Display for PlacementKind {
 
 /// A concrete assignment of cache banks to tiles on a `width × height`
 /// mesh. Tiles not listed in `cbs` hold processing elements.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Placement {
     /// Mesh width in tiles.
     pub width: u16,

@@ -13,10 +13,9 @@
 //! all tiles; **lower is better**.
 
 use equinox_phys::Coord;
-use serde::{Deserialize, Serialize};
 
 /// Which hot-zone class a tile belongs to for a given CB.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ZoneKind {
     /// Direct Access Zone — orthogonal neighbour of the CB.
     Daz,
@@ -25,7 +24,7 @@ pub enum ZoneKind {
 }
 
 /// Scores CB placements on a `width × height` mesh by hot-zone overlap.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PlacementScorer {
     width: u16,
     height: u16,

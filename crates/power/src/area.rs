@@ -6,10 +6,9 @@
 //! the wiring matrix grow with total port width. Buffers contribute
 //! linearly in bits; allocators are small.
 
-use serde::{Deserialize, Serialize};
 
 /// Structural description of one router.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RouterGeometry {
     /// Paired ports (mesh 5; +1 per EIR input port; CMesh routers 10).
     pub ports: usize,
@@ -76,7 +75,7 @@ impl RouterGeometry {
 }
 
 /// Structural description of one network interface.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct NiGeometry {
     /// Number of packet injection buffers (baseline NI: 1; EquiNox CB NI:
     /// 5 single-packet buffers, §4.4; MultiPort CB NI: 4).

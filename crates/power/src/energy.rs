@@ -8,10 +8,9 @@
 //! global wires thanks to their thick, low-resistance copper (§2.3 \[18\]).
 //! Leakage is proportional to area and simulated time.
 
-use serde::{Deserialize, Serialize};
 
 /// Per-event energy coefficients (pJ at 128-bit reference width, 28 nm).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EnergyCoeffs {
     /// Buffer write, pJ per 128-bit flit.
     pub buf_write_pj: f64,
@@ -45,7 +44,7 @@ impl Default for EnergyCoeffs {
 
 /// Event totals for one physical network, as extracted from the
 /// simulator's `NetStats` by the system layer.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct EventCounts {
     /// Flits written to input buffers.
     pub buffer_writes: u64,
@@ -66,14 +65,14 @@ pub struct EventCounts {
 }
 
 /// Computes energies from event counts, widths and areas.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct EnergyModel {
     /// The coefficient set in use.
     pub coeffs: EnergyCoeffs,
 }
 
 /// Dynamic energy split by component, joules.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct ComponentEnergy {
     /// Input-buffer writes + reads.
     pub buffers_j: f64,

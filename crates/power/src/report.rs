@@ -1,9 +1,8 @@
 //! Energy breakdowns and derived figures of merit.
 
-use serde::{Deserialize, Serialize};
 
 /// Energy of one scheme run, split as the paper plots it.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct EnergyBreakdown {
     /// Dynamic energy, joules.
     pub dynamic_j: f64,

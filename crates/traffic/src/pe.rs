@@ -12,12 +12,10 @@
 //! hits), and bursts jump around a per-PE working set.
 
 use crate::profile::BenchmarkProfile;
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
-use serde::{Deserialize, Serialize};
+use equinox_exec::Rng;
 
 /// A memory operation emitted by a PE.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MemOp {
     /// Byte address (cache-line aligned).
     pub addr: u64,
@@ -26,7 +24,7 @@ pub struct MemOp {
 }
 
 /// Per-PE execution statistics.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PeStats {
     /// Instructions retired.
     pub retired: u64,
@@ -44,7 +42,7 @@ pub struct Pe {
     remaining: u64,
     outstanding: u32,
     mshr_cap: u32,
-    rng: StdRng,
+    rng: Rng,
     /// Next sequential address of the current burst.
     cursor: u64,
     burst_left: u32,
@@ -73,7 +71,7 @@ impl Pe {
     pub fn new(profile: BenchmarkProfile, index: usize, scale: f64, mshr_cap: u32, seed: u64) -> Self {
         let quota = ((profile.instrs as f64 * scale).round() as u64).max(1);
         let base = (index as u64) << 28;
-        let mut rng = StdRng::seed_from_u64(seed ^ ((index as u64) << 32) ^ 0x5EED);
+        let mut rng = Rng::seed_from_u64(seed ^ ((index as u64) << 32) ^ 0x5EED);
         let cursor = base + (rng.random_range(0..1u64 << 16)) * LINE_BYTES;
         Pe {
             profile,

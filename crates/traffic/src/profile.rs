@@ -15,10 +15,9 @@
 //! 72.7% / 27.3% reply/request bit split (a read is 1 request flit vs 5
 //! reply flits; a write is the reverse; reply share = (4·r + 1) / 6).
 
-use serde::Serialize;
 
 /// Synthetic traffic parameters of one benchmark.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BenchmarkProfile {
     /// Benchmark name (matches the paper's figures).
     pub name: &'static str,

@@ -2,10 +2,9 @@
 
 use crate::pe::Pe;
 use crate::profile::BenchmarkProfile;
-use serde::Serialize;
 
 /// A benchmark run description.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Workload {
     /// The benchmark's traffic profile.
     pub profile: BenchmarkProfile,

@@ -1,20 +1,25 @@
-//! Property-based tests of the PE model's accounting invariants.
+//! Randomized (seeded, deterministic) tests of the PE model's
+//! accounting invariants.
 
+use equinox_exec::Rng;
 use equinox_traffic::profile::all_benchmarks;
 use equinox_traffic::{Pe, Workload};
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(40))]
-
-    #[test]
-    fn pe_retires_exactly_its_quota(
-        bench in 0usize..29,
-        seed in 0u64..1000,
-        mshrs in 1u32..32,
-    ) {
+#[test]
+fn pe_retires_exactly_its_quota() {
+    let mut rng = Rng::seed_from_u64(0xFE1);
+    for _ in 0..40 {
+        let bench = rng.random_range(0usize..29);
+        let seed = rng.random_range(0u64..1000);
+        let mshrs = rng.random_range(1u32..32);
         let profile = all_benchmarks()[bench];
-        let w = Workload { profile, scale: 0.05, mshrs, seed, phase_len: None };
+        let w = Workload {
+            profile,
+            scale: 0.05,
+            mshrs,
+            seed,
+            phase_len: None,
+        };
         let mut pe = w.make_pes(1).remove(0);
         let quota = w.total_instrs(1);
         let mut issued = 0u64;
@@ -27,24 +32,32 @@ proptest! {
                 break;
             }
         }
-        prop_assert!(pe.done(), "PE must finish with instant replies");
-        prop_assert_eq!(pe.stats.retired, quota);
-        prop_assert_eq!(pe.stats.mem_ops, issued);
-        prop_assert_eq!(pe.outstanding(), 0);
+        assert!(pe.done(), "PE must finish with instant replies");
+        assert_eq!(pe.stats.retired, quota);
+        assert_eq!(pe.stats.mem_ops, issued);
+        assert_eq!(pe.outstanding(), 0);
     }
+}
 
-    #[test]
-    fn outstanding_never_exceeds_mshrs(
-        bench in 0usize..29,
-        mshrs in 1u32..16,
-        drain_every in 1u64..8,
-    ) {
+#[test]
+fn outstanding_never_exceeds_mshrs() {
+    let mut rng = Rng::seed_from_u64(0xFE2);
+    for _ in 0..40 {
+        let bench = rng.random_range(0usize..29);
+        let mshrs = rng.random_range(1u32..16);
+        let drain_every = rng.random_range(1u64..8);
         let profile = all_benchmarks()[bench];
-        let w = Workload { profile, scale: 0.05, mshrs, seed: 1, phase_len: None };
+        let w = Workload {
+            profile,
+            scale: 0.05,
+            mshrs,
+            seed: 1,
+            phase_len: None,
+        };
         let mut pe = w.make_pes(1).remove(0);
         for t in 0..50_000u64 {
             let _ = pe.tick(true);
-            prop_assert!(pe.outstanding() <= mshrs);
+            assert!(pe.outstanding() <= mshrs);
             if t % drain_every == 0 && pe.outstanding() > 0 {
                 pe.complete();
             }
@@ -53,15 +66,20 @@ proptest! {
             }
         }
     }
+}
 
-    #[test]
-    fn addresses_stay_in_working_set(index in 0usize..64, seed in 0u64..100) {
+#[test]
+fn addresses_stay_in_working_set() {
+    let mut rng = Rng::seed_from_u64(0xFE3);
+    for _ in 0..40 {
+        let index = rng.random_range(0usize..64);
+        let seed = rng.random_range(0u64..100);
         let profile = all_benchmarks()[10]; // kmeans: memory heavy
         let mut pe = Pe::new(profile, index, 0.05, 64, seed);
         for _ in 0..20_000u64 {
             if let Some(op) = pe.tick(true) {
-                prop_assert_eq!(op.addr % 64, 0, "line aligned");
-                prop_assert_eq!((op.addr >> 28) as usize, index, "own working set");
+                assert_eq!(op.addr % 64, 0, "line aligned");
+                assert_eq!((op.addr >> 28) as usize, index, "own working set");
                 pe.complete();
             }
             if pe.done() {

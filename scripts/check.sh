@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Tier-1 gate: release build, full test suite, and a performance
+# regression check against the committed BENCH_perf.json baseline.
+#
+#   scripts/check.sh
+#
+# The perf check compares the single-simulation cycle rate (the hot-loop
+# figure of merit) with a tolerance band, CHECK_TOLERANCE_PCT percent
+# (default 10). Baselines are machine-specific: on new hardware,
+# regenerate with `./target/release/perf > BENCH_perf.json` first, or
+# skip the comparison with EQUINOX_SKIP_PERF=1.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build (release) =="
+cargo build --release --workspace
+
+echo "== tests =="
+cargo test -q --workspace
+
+echo "== perf =="
+# Default 3-rep best-of (not --quick): single-rep rates swing close to
+# the tolerance band on a noisy box.
+out=$(./target/release/perf 2>/dev/null)
+echo "$out"
+
+if [ "${EQUINOX_SKIP_PERF:-0}" = "1" ]; then
+  echo "perf comparison skipped (EQUINOX_SKIP_PERF=1)"
+  exit 0
+fi
+
+rate=$(echo "$out" | sed -n 's/.*"single_cycles_per_sec": \([0-9]*\).*/\1/p')
+base=$(sed -n 's/.*"single_cycles_per_sec": \([0-9]*\).*/\1/p' BENCH_perf.json)
+if [ -z "$rate" ] || [ -z "$base" ]; then
+  echo "FAIL: could not parse single_cycles_per_sec from perf output or BENCH_perf.json" >&2
+  exit 1
+fi
+tol=${CHECK_TOLERANCE_PCT:-10}
+min=$(( base * (100 - tol) / 100 ))
+if [ "$rate" -lt "$min" ]; then
+  echo "FAIL: single-sim rate $rate cycles/s is more than ${tol}% below baseline $base" >&2
+  echo "      (machine-specific baseline; regenerate with ./target/release/perf > BENCH_perf.json)" >&2
+  exit 1
+fi
+echo "OK: single-sim rate $rate cycles/s vs baseline $base (floor $min)"

@@ -12,8 +12,12 @@
 //! * [`placement`] — CB placement engines (N-Queen, Diamond, …)
 //! * [`mcts`] — the EIR design-space search (MCTS, GA, SA)
 //! * [`phys`] — interposer physics (wires, crossings, µbumps)
+//! * [`exec`] — worker pool + deterministic PRNG streams
+//! * [`bench`] — experiment runners behind the repro binaries
 
+pub use equinox_bench as bench;
 pub use equinox_core as core;
+pub use equinox_exec as exec;
 pub use equinox_hbm as hbm;
 pub use equinox_mcts as mcts;
 pub use equinox_noc as noc;

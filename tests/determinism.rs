@@ -1,7 +1,13 @@
 //! Reproducibility: every layer of the stack is deterministic in its
-//! seed, so published numbers can be regenerated bit-for-bit.
+//! seed, so published numbers can be regenerated bit-for-bit — and,
+//! since PR 1 fans experiments out on the `equinox-exec` worker pool,
+//! also independent of the worker count.
 
-use equinox_suite::core::{EquiNoxDesign, SchemeKind, System, SystemConfig};
+use equinox_suite::bench::run_matrix;
+use equinox_suite::core::loadlat::{load_latency_curve, ReplySide};
+use equinox_suite::core::{EquiNoxDesign, RunMetrics, SchemeKind, System, SystemConfig};
+use equinox_suite::exec::set_threads;
+use equinox_suite::placement::Placement;
 use equinox_suite::traffic::{profile::benchmark, Workload};
 
 fn run(seed: u64) -> (u64, f64) {
@@ -46,4 +52,64 @@ fn equinox_run_with_fixed_design_is_deterministic() {
     let b = go();
     assert_eq!(a.cycles, b.cycles);
     assert_eq!(a.latency.total_ns(), b.latency.total_ns());
+}
+
+/// Every observable of a run, bit-exact (`RunMetrics` holds floats, so
+/// compare their bit patterns rather than deriving `PartialEq`).
+fn assert_metrics_identical(a: &RunMetrics, b: &RunMetrics) {
+    assert_eq!(a.cycles, b.cycles, "cycle counts diverged");
+    assert_eq!(a.ipc.to_bits(), b.ipc.to_bits(), "IPC diverged");
+    assert_eq!(a.exec_ns.to_bits(), b.exec_ns.to_bits(), "exec time diverged");
+    assert_eq!(a.edp.to_bits(), b.edp.to_bits(), "EDP diverged");
+    assert_eq!(
+        a.latency.total_ns().to_bits(),
+        b.latency.total_ns().to_bits(),
+        "latency diverged"
+    );
+}
+
+// Note on `set_threads`: the worker count is a process-global, and tests
+// in this binary run concurrently. That is safe here precisely because
+// worker-count independence is the contract under test — any
+// interleaving of these flips must still produce identical results, or
+// the assertions below fail.
+
+#[test]
+fn sweep_matrix_is_worker_count_independent() {
+    let schemes = &SchemeKind::ALL[..2];
+    let benches = ["gaussian", "bfs"];
+    set_threads(1);
+    let seq = run_matrix(schemes, 8, &benches, 0.05, &[1, 2]);
+    set_threads(4);
+    let par = run_matrix(schemes, 8, &benches, 0.05, &[1, 2]);
+    set_threads(0);
+    assert_eq!(seq.len(), par.len());
+    for (row_s, row_p) in seq.iter().zip(&par) {
+        assert_eq!(row_s.len(), row_p.len());
+        for (a, b) in row_s.iter().zip(row_p) {
+            assert_metrics_identical(a, b);
+        }
+    }
+}
+
+#[test]
+fn load_latency_curve_is_worker_count_independent() {
+    let p = Placement::diamond(8, 8, 8);
+    let rates = [0.05, 0.2, 0.4];
+    set_threads(1);
+    let seq = load_latency_curve(&p, &ReplySide::Local, &rates, 2_000, 1);
+    set_threads(3);
+    let par = load_latency_curve(&p, &ReplySide::Local, &rates, 2_000, 1);
+    set_threads(0);
+    assert_eq!(seq, par, "curve must not depend on worker count");
+}
+
+#[test]
+fn design_search_is_worker_count_independent() {
+    set_threads(1);
+    let a = EquiNoxDesign::search_k(8, 8, 150, 5, 2);
+    set_threads(4);
+    let b = EquiNoxDesign::search_k(8, 8, 150, 5, 2);
+    set_threads(0);
+    assert_eq!(a, b, "top-k placement fan-out must not depend on worker count");
 }
