@@ -1,8 +1,11 @@
 //! `perf` — micro-benchmark of the simulation substrate itself.
 //!
 //! ```text
-//! perf [--scale S] [--threads N] [--quick]
+//! perf [--scale S] [--threads N] [--quick] [--audit]
 //! ```
+//!
+//! `--audit` enables the invariant auditor (`EQUINOX_AUDIT=1`) inside the
+//! timed runs — useful for measuring its overhead, never for baselines.
 //!
 //! Reports two numbers as a single JSON line on stdout:
 //!
@@ -24,6 +27,9 @@ use std::time::Instant;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--audit") {
+        std::env::set_var("EQUINOX_AUDIT", "1");
+    }
     let scale = args
         .iter()
         .position(|a| a == "--scale")

@@ -1,14 +1,18 @@
 //! `repro` — regenerates every table and figure of the EquiNox paper.
 //!
 //! ```text
-//! repro <table1|fig4|fig5|fig7|fig9|fig10|fig11|fig12|ubumps|ablation|all> [--full] [--scale S]
+//! repro <table1|fig4|fig5|fig7|fig9|fig10|fig11|fig12|ubumps|ablation|all> [--full] [--scale S] [--audit]
 //! ```
 //!
 //! `fig9`/`fig10` default to the 6-benchmark quick subset; pass `--full`
 //! for all 29 benchmarks (a few minutes). `--scale` multiplies the per-PE
 //! instruction quota (default 0.5). The scheme × benchmark sweeps fan
 //! out across cores; `--threads N` (or `EQUINOX_THREADS=N`) pins the
-//! worker count — results are identical either way.
+//! worker count — results are identical either way. `--audit` turns on
+//! the invariant auditor (sets `EQUINOX_AUDIT=1`, which worker threads
+//! inherit): every simulated system checks credit/flit conservation,
+//! escape-VC compliance and packet accounting, and panics on the first
+//! violation or deadlock instead of producing silently-wrong tables.
 
 use equinox_bench::{
     all_bench_names, design_for, run_matrix, run_seeds, strong_design_8x8, QUICK_BENCHES,
@@ -29,6 +33,11 @@ const SEEDS: [u64; 2] = [42, 7];
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--audit") {
+        // Before any worker-pool or simulation activity, so every thread
+        // inherits it (see `SystemConfig::new` / `audit_from_env`).
+        std::env::set_var("EQUINOX_AUDIT", "1");
+    }
     let cmd = args.first().map(String::as_str).unwrap_or("all");
     let full = args.iter().any(|a| a == "--full");
     let scale = args

@@ -1,19 +1,24 @@
 //! `sweep` — reply-network load–latency curves as CSV.
 //!
 //! ```text
-//! sweep [--n 8] [--cycles 6000] [--out curve.csv] [--threads N]
+//! sweep [--n 8] [--cycles 6000] [--out curve.csv] [--threads N] [--audit]
 //! ```
 //!
 //! Emits `offered,baseline_latency,baseline_throughput,equinox_latency,
 //! equinox_throughput` rows, ready for plotting. The 20 rate points of
 //! each curve run in parallel on the worker pool; `--threads` (or
 //! `EQUINOX_THREADS`) pins the worker count without changing the output.
+//! `--audit` sets `EQUINOX_AUDIT=1` so every measured network runs with
+//! the invariant auditor enabled (panics on the first violation).
 
 use equinox_core::loadlat::{load_latency_curve, ReplySide};
 use equinox_core::EquiNoxDesign;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--audit") {
+        std::env::set_var("EQUINOX_AUDIT", "1");
+    }
     let get = |name: &str, default: u64| -> u64 {
         args.iter()
             .position(|a| a == name)

@@ -40,6 +40,9 @@ pub struct CacheBank {
     hbm: HbmStack,
     /// Replies ready to be handed to the NI once it has room.
     ready: VecDeque<u64>,
+    /// A reply already created in the tracker but refused by the NI
+    /// (backpressure); retried before anything else next tick.
+    pending_reply: Option<crate::msg::Message>,
     /// Requests accepted but not yet replied.
     inflight: usize,
     max_inflight: usize,
@@ -71,6 +74,7 @@ impl CacheBank {
             hbm_retry: VecDeque::new(),
             hbm: HbmStack::new(hbm_cfg),
             ready: VecDeque::new(),
+            pending_reply: None,
             inflight: 0,
             max_inflight,
             served: 0,
@@ -159,8 +163,20 @@ impl CacheBank {
             let (_, pkt) = self.hits_due.pop_front().expect("checked front");
             self.ready.push_back(pkt);
         }
-        // Emit replies while the NI accepts them.
-        while !self.ready.is_empty() && reply_ni.can_accept() {
+        // Emit replies while the NI accepts them. A refused reply keeps
+        // its tracker record and parks in `pending_reply` (re-creating it
+        // later would duplicate the record), so backpressure defers
+        // rather than drops.
+        if let Some(reply) = self.pending_reply.take() {
+            match reply_ni.try_push(reply) {
+                Ok(()) => {
+                    self.inflight -= 1;
+                    self.served += 1;
+                }
+                Err(reply) => self.pending_reply = Some(reply),
+            }
+        }
+        while self.pending_reply.is_none() && !self.ready.is_empty() {
             let req = self.ready.pop_front().expect("nonempty");
             let rec = *tracker.record(req);
             let mut reply = tracker.create(
@@ -177,9 +193,13 @@ impl CacheBank {
             {
                 reply = tracker.set_compressed(reply);
             }
-            reply_ni.push(reply);
-            self.inflight -= 1;
-            self.served += 1;
+            match reply_ni.try_push(reply) {
+                Ok(()) => {
+                    self.inflight -= 1;
+                    self.served += 1;
+                }
+                Err(reply) => self.pending_reply = Some(reply),
+            }
         }
     }
 
@@ -194,6 +214,7 @@ impl CacheBank {
             && self.hits_due.is_empty()
             && self.hbm_retry.is_empty()
             && self.ready.is_empty()
+            && self.pending_reply.is_none()
             && self.hbm.outstanding() == 0
     }
 }

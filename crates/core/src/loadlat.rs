@@ -76,6 +76,11 @@ fn measure(
 ) -> LoadPoint {
     let n = placement.width;
     let mut net = Network::mesh(NocConfig::mesh(n));
+    // Worker threads inherit the process environment, so `--audit` on the
+    // sweep binaries reaches every fanned-out point.
+    if let Some(acfg) = equinox_noc::audit_from_env() {
+        net.enable_audit(acfg);
+    }
     let mut tracker = PacketTracker::new();
     let mut rng = Rng::seed_from_u64(seed);
     let pes: Vec<Coord> = placement.pe_tiles().collect();

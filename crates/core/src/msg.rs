@@ -148,6 +148,10 @@ impl LatencyBreakdown {
 #[derive(Debug, Default)]
 pub struct PacketTracker {
     records: Vec<PacketRecord>,
+    /// Packets whose head flit entered a network (first transitions only).
+    injected_count: u64,
+    /// Packets whose tail flit left a network (first transitions only).
+    ejected_count: u64,
 }
 
 impl PacketTracker {
@@ -209,12 +213,31 @@ impl PacketTracker {
         let r = &mut self.records[id as usize];
         if r.injected.is_none() {
             r.injected = Some(now);
+            self.injected_count += 1;
         }
     }
 
-    /// Marks tail-flit arrival.
+    /// Marks tail-flit arrival (idempotent, like
+    /// [`PacketTracker::mark_injected`]).
     pub fn mark_ejected(&mut self, id: u64, now: u64) {
-        self.records[id as usize].ejected = Some(now);
+        let r = &mut self.records[id as usize];
+        if r.ejected.is_none() {
+            r.ejected = Some(now);
+            self.ejected_count += 1;
+        }
+    }
+
+    /// Packets injected but not yet delivered — the tracker side of the
+    /// system-level packet-accounting invariant (it must equal the tail
+    /// flits resident in the networks plus the packets streaming out of
+    /// NIs).
+    pub fn in_flight(&self) -> u64 {
+        self.injected_count - self.ejected_count
+    }
+
+    /// Packets fully delivered.
+    pub fn delivered(&self) -> u64 {
+        self.ejected_count
     }
 
     /// Number of packets created.

@@ -19,7 +19,7 @@
 //!   local-router fallback, retry otherwise.
 
 use crate::msg::{Message, PacketTracker};
-use equinox_noc::flit::Flit;
+use equinox_noc::flit::PacketDesc;
 use equinox_noc::network::{InjectorId, Network};
 use equinox_phys::Coord;
 use std::collections::VecDeque;
@@ -77,13 +77,26 @@ pub enum InjectPolicy {
     },
 }
 
-/// A packet being pushed into a network, one flit per cycle.
+/// A packet being pushed into a network, one flit per cycle. Holds only
+/// the packet *description*; each flit is rebuilt on demand, so streaming
+/// a packet never allocates.
 #[derive(Debug)]
 struct Inflight {
-    flits: Vec<Flit>,
-    next: usize,
+    desc: PacketDesc,
+    /// Ejection sink tag stamped on every flit (may differ from the
+    /// row-major default on concentrated meshes).
+    sink: u32,
+    /// Next flit index to inject.
+    next: u16,
     net: usize,
     injector: InjectorId,
+}
+
+impl Inflight {
+    /// The next flit to inject into network `net` (of mesh width `width`).
+    fn next_flit(&self, width: u16) -> equinox_noc::flit::Flit {
+        self.desc.flit_at(self.next, width).with_sink(self.sink)
+    }
 }
 
 /// A bounded source queue feeding one injection policy.
@@ -120,14 +133,29 @@ impl InjectionQueue {
         self.queue.len() < self.cap
     }
 
+    /// Enqueues a message, handing it back when the queue is full so the
+    /// caller can apply backpressure instead of crashing.
+    pub fn try_push(&mut self, msg: Message) -> Result<(), Message> {
+        if self.can_accept() {
+            self.queue.push_back(msg);
+            Ok(())
+        } else {
+            Err(msg)
+        }
+    }
+
     /// Enqueues a message.
     ///
     /// # Panics
     ///
-    /// Panics if the queue is full; check [`InjectionQueue::can_accept`].
+    /// Panics if the queue is full; check [`InjectionQueue::can_accept`]
+    /// or use [`InjectionQueue::try_push`] where backpressure is possible.
     pub fn push(&mut self, msg: Message) {
-        assert!(self.can_accept(), "injection queue overflow at {}", self.node);
-        self.queue.push_back(msg);
+        assert!(
+            self.try_push(msg).is_ok(),
+            "injection queue overflow at {}",
+            self.node
+        );
     }
 
     /// Messages waiting plus packets in flight.
@@ -140,13 +168,21 @@ impl InjectionQueue {
         self.queue.is_empty() && self.inflight.is_empty()
     }
 
+    /// Packets whose head flit is already in a network but whose tail is
+    /// not — the NI-side residency term of system-level packet accounting
+    /// (packets with the head still pending count with the queue, packets
+    /// fully streamed leave `inflight`).
+    pub fn streaming_packets(&self) -> usize {
+        self.inflight.iter().filter(|fl| fl.next >= 1).count()
+    }
+
     /// One cycle: advance every in-flight packet by one flit (each claims
     /// its own injection buffer, so they stream in parallel), then claim
     /// free injectors for queued messages per the policy.
     pub fn tick(&mut self, nets: &mut [Network], tracker: &mut PacketTracker, now: u64) {
         for fl in &mut self.inflight {
-            if fl.next < fl.flits.len() {
-                let flit = fl.flits[fl.next];
+            if fl.next < fl.desc.len {
+                let flit = fl.next_flit(nets[fl.net].width());
                 if nets[fl.net].try_inject_flit(fl.injector, flit) {
                     if fl.next == 0 {
                         tracker.mark_injected(flit.pkt.0, now);
@@ -155,7 +191,7 @@ impl InjectionQueue {
                 }
             }
         }
-        self.inflight.retain(|fl| fl.next < fl.flits.len());
+        self.inflight.retain(|fl| fl.next < fl.desc.len);
         // Start as many new packets as the policy finds free buffers for.
         while let Some(&msg) = self.queue.front() {
             let Some((net, injector, src, dst, sink)) = self.choose(nets, &msg) else {
@@ -163,27 +199,22 @@ impl InjectionQueue {
             };
             let bits = nets[net].config().link_bits;
             let desc = msg.to_desc(bits, src, dst);
-            let flits: Vec<Flit> = desc
-                .flits(nets[net].width())
-                .into_iter()
-                .map(|f| f.with_sink(sink))
-                .collect();
             self.queue.pop_front();
             let mut fl = Inflight {
-                flits,
+                desc,
+                sink,
                 next: 0,
                 net,
                 injector,
             };
             // Push the head flit immediately: the injector reserves its
             // VC, so a second message cannot claim the same buffer.
-            let head = fl.flits[0];
+            let head = fl.next_flit(nets[net].width());
             if nets[net].try_inject_flit(injector, head) {
                 tracker.mark_injected(head.pkt.0, now);
                 fl.next = 1;
             }
-            let finished = fl.next == fl.flits.len();
-            if !finished {
+            if fl.next < fl.desc.len {
                 self.inflight.push(fl);
             }
         }
@@ -261,29 +292,44 @@ impl InjectionQueue {
             } => {
                 let n = *net;
                 let sink = msg.dst.to_index(nets[n].width()) as u32;
-                // Buffer Selection 1: only EIRs on a shortest path.
+                // Buffer Selection 1: only EIRs on a shortest path. The
+                // candidates live in an inline bitmask over the full EIR
+                // list (a CB has 4 EIRs; 32 is ample), so the per-message
+                // hot path never allocates — and the round-robin cursor
+                // indexes the *full* list, keeping its meaning stable
+                // across messages with different shortest-path sets (a
+                // cursor modulo the per-message candidate count drifts
+                // and can starve one quadrant EIR).
+                debug_assert!(eirs.len() <= 32, "EIR bitmask limited to 32 entries");
                 let direct = msg.src.manhattan(msg.dst);
-                let shortest: Vec<&(Coord, InjectorId)> = eirs
-                    .iter()
-                    .filter(|(e, _)| msg.src.manhattan(*e) + e.manhattan(msg.dst) == direct)
-                    .collect();
+                let mut sp_mask = 0u32;
+                for (i, (e, _)) in eirs.iter().enumerate() {
+                    if msg.src.manhattan(*e) + e.manhattan(msg.dst) == direct {
+                        sp_mask |= 1 << i;
+                    }
+                }
                 let dx = msg.dst.x as i32 - msg.src.x as i32;
                 let dy = msg.dst.y as i32 - msg.src.y as i32;
                 debug_assert!(dx != 0 || dy != 0, "CB does not message itself");
                 if dx == 0 || dy == 0 {
                     // On-axis: at most one shortest-path EIR exists.
-                    if let Some(&&(_, inj)) = shortest.first() {
+                    if sp_mask != 0 {
+                        let (_, inj) = eirs[sp_mask.trailing_zeros() as usize];
                         if nets[n].injector_ready(inj, msg.class) {
                             return Some((n, inj, msg.src, msg.dst, sink));
                         }
                     }
-                } else {
+                } else if sp_mask != 0 {
                     // Quadrant: up to two candidates, round-robin.
-                    let m = shortest.len();
+                    let m = eirs.len();
                     for k in 0..m {
-                        let (_, inj) = *shortest[(*rr + k) % m];
+                        let i = (*rr + k) % m;
+                        if sp_mask & (1 << i) == 0 {
+                            continue;
+                        }
+                        let (_, inj) = eirs[i];
                         if nets[n].injector_ready(inj, msg.class) {
-                            *rr = (*rr + k + 1) % m.max(1);
+                            *rr = (i + 1) % m;
                             return Some((n, inj, msg.src, msg.dst, sink));
                         }
                     }
@@ -493,7 +539,7 @@ mod tests {
     fn cmesh_split_routes_far_packets_through_the_cmesh() {
         // Base 8x8 + a 4x4 concentrated net; a far packet must use the
         // CMesh, a near one the base mesh.
-        let mut base = Network::mesh(NocConfig::mesh_8x8());
+        let base = Network::mesh(NocConfig::mesh_8x8());
         let mut ccfg = NocConfig::mesh(4);
         ccfg.link_bits = 256;
         ccfg.vc_buf_flits = 3;
@@ -543,6 +589,107 @@ mod tests {
         assert!(far_via_cmesh, "far packet must ride the concentrated mesh");
         assert!(near_via_base, "near packet must stay on the base mesh");
         let _ = &mut nets;
+    }
+
+    /// Runs tick/step/drain until the NI is idle and the net quiescent.
+    fn drain(ni: &mut InjectionQueue, nets: &mut [Network], tracker: &mut PacketTracker, dsts: &[Coord]) {
+        for t in 0..2_000 {
+            ni.tick(nets, tracker, t);
+            for n in nets.iter_mut() {
+                n.step();
+                for &d in dsts {
+                    while n.pop_ejected_node(d).is_some() {}
+                }
+            }
+            if ni.is_idle() && nets.iter().all(|n| n.quiescent()) {
+                return;
+            }
+        }
+        panic!("network failed to drain");
+    }
+
+    #[test]
+    fn equinox_two_equal_candidates_alternate() {
+        // Two shortest-path EIRs for every message: round-robin must split
+        // the packets exactly evenly between them.
+        let mut nets = vec![Network::mesh(NocConfig::mesh_8x8())];
+        let mut tracker = PacketTracker::new();
+        let cb = Coord::new(2, 2);
+        let e1 = Coord::new(4, 2); // shortest-path for (5,5)
+        let off = Coord::new(0, 2); // never on a shortest path to (5,5)
+        let e2 = Coord::new(2, 4); // shortest-path for (5,5)
+        let eirs: Vec<(Coord, InjectorId)> = [e1, off, e2]
+            .iter()
+            .map(|&e| (e, nets[0].add_injection_port(e, 1, LinkKind::Interposer)))
+            .collect();
+        let local = nets[0].local_injector(cb);
+        let mut ni = InjectionQueue::new(cb, 8, InjectPolicy::Equinox { net: 0, local, eirs, rr: 0 });
+        let dst = Coord::new(5, 5);
+        for _ in 0..4 {
+            let m = tracker.create(cb, dst, MessageClass::Reply, MemOpKind::Read, 0, 0);
+            ni.push(m);
+            drain(&mut ni, &mut nets, &mut tracker, &[dst]);
+        }
+        // Flits from e1 traverse only routers in the (4,2)..(5,5) rectangle
+        // and flits from e2 only (2,4)..(5,5), so the EIR routers' own flit
+        // counters isolate the per-EIR packet split.
+        let s = nets[0].stats();
+        let f1 = s.router_flits[e1.to_index(8)];
+        let f2 = s.router_flits[e2.to_index(8)];
+        assert_eq!(f1, f2, "equal candidates must alternate ({f1} vs {f2})");
+        assert!(f1 > 0);
+        assert_eq!(s.router_flits[off.to_index(8)], 0, "off-path EIR unused");
+    }
+
+    #[test]
+    fn equinox_rr_cursor_covers_all_eirs_across_mixed_destinations() {
+        // Regression for the stale-cursor bug: with the cursor taken
+        // modulo the per-message shortest-path count, an alternating
+        // destination pattern keeps selecting the same EIRs and starves
+        // another that is eligible every other message. The cursor must
+        // range over the full EIR list.
+        let mut nets = vec![Network::mesh(NocConfig::mesh_8x8())];
+        let mut tracker = PacketTracker::new();
+        let cb = Coord::new(2, 2);
+        let e1 = Coord::new(4, 2);
+        let e2 = Coord::new(3, 3);
+        let e3 = Coord::new(2, 4);
+        let eirs: Vec<(Coord, InjectorId)> = [e1, e2, e3]
+            .iter()
+            .map(|&e| (e, nets[0].add_injection_port(e, 1, LinkKind::Interposer)))
+            .collect();
+        let local = nets[0].local_injector(cb);
+        let mut ni = InjectionQueue::new(cb, 8, InjectPolicy::Equinox { net: 0, local, eirs, rr: 0 });
+        let dst_a = Coord::new(5, 5); // all three EIRs on a shortest path
+        let dst_b = Coord::new(4, 3); // only e1 and e2 on a shortest path
+        for i in 0..6 {
+            let dst = if i % 2 == 0 { dst_a } else { dst_b };
+            let m = tracker.create(cb, dst, MessageClass::Reply, MemOpKind::Read, 0, 0);
+            ni.push(m);
+            drain(&mut ni, &mut nets, &mut tracker, &[dst]);
+        }
+        // No traffic for these destinations passes through another EIR's
+        // router, so each counter is nonzero iff that EIR injected.
+        let s = nets[0].stats();
+        for e in [e1, e2, e3] {
+            assert!(
+                s.router_flits[e.to_index(8)] > 0,
+                "EIR at {e:?} was starved by the round-robin cursor"
+            );
+        }
+    }
+
+    #[test]
+    fn try_push_reports_overflow_without_losing_the_message() {
+        let (_, mut tracker) = setup();
+        let src = Coord::new(0, 0);
+        let mut ni = InjectionQueue::new(src, 1, InjectPolicy::Local { net: 0 });
+        let m1 = tracker.create(src, Coord::new(1, 1), MessageClass::Request, MemOpKind::Read, 0, 0);
+        let m2 = tracker.create(src, Coord::new(2, 2), MessageClass::Request, MemOpKind::Read, 1, 0);
+        assert!(ni.try_push(m1).is_ok());
+        let back = ni.try_push(m2).expect_err("queue is full");
+        assert_eq!(back.id, m2.id, "rejected message is returned intact");
+        assert_eq!(ni.backlog(), 1);
     }
 
     #[test]

@@ -53,6 +53,11 @@ pub struct SystemConfig {
     /// Probability a read reply travels compressed (the §7 coalescing
     /// extension; 0 disables it).
     pub reply_compression: f64,
+    /// Invariant-auditor configuration. Defaults from the `EQUINOX_AUDIT`
+    /// environment variable (which the repro binaries' `--audit` flag
+    /// sets), so worker-pool threads inherit the choice; `None` disables
+    /// all audit work.
+    pub audit: Option<equinox_noc::AuditConfig>,
 }
 
 impl SystemConfig {
@@ -72,6 +77,7 @@ impl SystemConfig {
             hbm: HbmConfig::hbm2(),
             pipeline_extra: 0,
             reply_compression: 0.0,
+            audit: equinox_noc::audit_from_env(),
         }
     }
 }
@@ -112,6 +118,14 @@ pub struct System {
     area_mm2: f64,
     ubumps: usize,
     total_instrs: u64,
+    /// System-level progress counter at its last observed change
+    /// (auditing only).
+    sys_last_progress: u64,
+    /// Cycle of that change.
+    sys_last_progress_cycle: u64,
+    /// System-level audit findings retained when the auditor is
+    /// configured not to panic.
+    audit_findings: Vec<String>,
 }
 
 impl System {
@@ -427,6 +441,12 @@ impl System {
         };
         area += cfg.n_cbs as f64 * cb_ni.area_mm2();
 
+        if let Some(acfg) = &cfg.audit {
+            for net in &mut nets {
+                net.enable_audit(acfg.clone());
+            }
+        }
+
         let total_instrs = cfg.workload.total_instrs(pe_count);
         let steps = steps_per_two.clone();
         let retired: Vec<bool> = pes
@@ -456,6 +476,9 @@ impl System {
             area_mm2: area,
             ubumps,
             total_instrs,
+            sys_last_progress: 0,
+            sys_last_progress_cycle: 0,
+            audit_findings: Vec::new(),
             cfg,
         }
     }
@@ -491,7 +514,11 @@ impl System {
                 let msg = self
                     .tracker
                     .create(src, dst, MessageClass::Request, kind, op.addr, t);
-                ni.push(msg);
+                // `pe.tick(ni.can_accept())` only emits when the NI has
+                // room, so this cannot overflow; a rejection here would
+                // mean a lost (tracker-registered) request.
+                let pushed = ni.try_push(msg);
+                assert!(pushed.is_ok(), "request NI refused a gated message");
             }
             // A compute-only quota can retire to completion inside tick().
             if !self.retired[idx] && self.pes[idx].as_ref().is_some_and(|pe| pe.done()) {
@@ -545,6 +572,103 @@ impl System {
             }
         }
         self.cycle += 1;
+        if self.cfg.audit.is_some() {
+            self.audit_step();
+        }
+    }
+
+    /// System-level audit pass, run at the end of every core cycle when
+    /// auditing is enabled (the per-network checks run inside each
+    /// network's own `step`).
+    ///
+    /// * **Packet accounting** (every `check_interval` cycles): packets
+    ///   injected-but-undelivered per the tracker must equal the tail
+    ///   flits resident in the networks plus the packets still streaming
+    ///   out of NIs — a leaked or double-counted packet breaks the
+    ///   equality immediately.
+    /// * **Protocol watchdog**: if no message is created, injected,
+    ///   delivered or moved for `watchdog_window` core cycles while work
+    ///   is pending, the run is wedged above the NoC level (e.g. a
+    ///   request/reply dependence cycle); dump occupancy instead of
+    ///   spinning to `max_cycles`.
+    fn audit_step(&mut self) {
+        let acfg = self.cfg.audit.as_ref().expect("audit enabled");
+        let (interval, window, panic_on) = (
+            acfg.check_interval.max(1),
+            acfg.watchdog_window,
+            acfg.panic_on_violation,
+        );
+        let progress = self.tracker.len() as u64
+            + self.tracker.delivered()
+            + self.done_pes as u64
+            + self
+                .nets
+                .iter()
+                .map(|n| {
+                    let s = n.stats();
+                    s.injected_flits + s.ejected_flits + s.xbar_traversals
+                })
+                .sum::<u64>();
+        if progress != self.sys_last_progress {
+            self.sys_last_progress = progress;
+            self.sys_last_progress_cycle = self.cycle;
+        }
+        let stalled = self.cycle - self.sys_last_progress_cycle;
+        if window > 0 && stalled >= window && !self.done() {
+            let pending = self.occupancy() != (0, 0, 0, 0)
+                || self.nets.iter().any(|n| !n.quiescent());
+            self.sys_last_progress_cycle = self.cycle;
+            if pending {
+                let (pe_out, req_backlog, cb_inflight, rep_backlog) = self.occupancy();
+                let msg = format!(
+                    "system deadlock: no protocol progress for {stalled} cycles at cycle {} \
+                     with work pending: {} of {} PEs retired, occupancy \
+                     (pe_outstanding {pe_out}, req_ni_backlog {req_backlog}, \
+                     cb_inflight {cb_inflight}, rep_ni_backlog {rep_backlog}), \
+                     {} CBs at capacity, packets in flight {}",
+                    self.cycle,
+                    self.done_pes,
+                    self.live_pes,
+                    self.cbs_at_capacity(),
+                    self.tracker.in_flight(),
+                );
+                if panic_on {
+                    panic!("{msg}");
+                }
+                self.audit_findings.push(msg);
+            }
+        }
+        if self.cycle.is_multiple_of(interval) {
+            let resident: u64 = self.nets.iter().map(|n| n.resident_tail_flits()).sum();
+            let streaming: u64 = self
+                .req_nis
+                .iter()
+                .flatten()
+                .chain(self.rep_nis.iter())
+                .map(|ni| ni.streaming_packets() as u64)
+                .sum();
+            let in_flight = self.tracker.in_flight();
+            if in_flight != resident + streaming {
+                let msg = format!(
+                    "packet accounting broken at cycle {}: tracker reports {in_flight} \
+                     packets in flight but networks hold {resident} tail flits and NIs \
+                     are streaming {streaming} packets",
+                    self.cycle
+                );
+                if panic_on {
+                    panic!("{msg}");
+                }
+                self.audit_findings.push(msg);
+            }
+        }
+        const MAX_FINDINGS: usize = 256;
+        self.audit_findings.truncate(MAX_FINDINGS);
+    }
+
+    /// System-level audit findings retained so far (always empty while
+    /// the auditor panics on violation, or when auditing is off).
+    pub fn audit_findings(&self) -> &[String] {
+        &self.audit_findings
     }
 
     /// `true` when every PE has retired its quota and received every

@@ -84,7 +84,7 @@ mod tests {
         let hit_done = b.access(5, false, miss_done, &t) - miss_done;
         let conflict_done = b.access(9, false, miss_done + hit_done, &t) - (miss_done + hit_done);
         assert!(hit_done < miss_done);
-        assert!(miss_done < conflict_done as u64 + 0 || conflict_done > miss_done,);
+        assert!(miss_done < conflict_done);
         assert!(conflict_done > hit_done);
         assert_eq!((b.hits, b.misses, b.conflicts), (1, 1, 1));
     }

@@ -71,19 +71,25 @@ impl PacketDesc {
     /// flit defaults to the row-major index of `dst` on a mesh `width`
     /// wide; concentrated networks overwrite it via [`Flit::with_sink`].
     pub fn flits(&self, width: u16) -> Vec<Flit> {
-        let sink = self.dst.to_index(width) as u32;
-        (0..self.len)
-            .map(|seq| Flit {
-                pkt: self.id,
-                src: self.src,
-                dst: self.dst,
-                class: self.class,
-                seq,
-                len: self.len,
-                sink,
-                vc: 0,
-            })
-            .collect()
+        (0..self.len).map(|seq| self.flit_at(seq, width)).collect()
+    }
+
+    /// Builds the single flit at position `seq` without materializing the
+    /// whole packet — the form the NI injection hot loop uses, so that
+    /// streaming a packet one flit per cycle never touches the heap.
+    /// `seq` must be `< len`; the `sink` default matches [`PacketDesc::flits`].
+    pub fn flit_at(&self, seq: u16, width: u16) -> Flit {
+        debug_assert!(seq < self.len, "flit index out of range");
+        Flit {
+            pkt: self.id,
+            src: self.src,
+            dst: self.dst,
+            class: self.class,
+            seq,
+            len: self.len,
+            sink: self.dst.to_index(width) as u32,
+            vc: 0,
+        }
     }
 }
 

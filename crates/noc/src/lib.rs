@@ -64,6 +64,7 @@
 //! assert_eq!(got, 5, "all five flits of the packet must arrive");
 //! ```
 
+pub mod audit;
 pub mod config;
 pub mod flit;
 pub mod link;
@@ -73,6 +74,7 @@ pub mod routing;
 pub mod stats;
 pub mod trace;
 
+pub use audit::{audit_from_env, AuditConfig, DeadlockReport, Violation};
 pub use config::{NocConfig, RoutingKind, VcPartition};
 pub use flit::{Flit, MessageClass, PacketDesc, PacketId};
 pub use link::LinkKind;

@@ -71,7 +71,7 @@ impl Link {
     /// Sends a flit; it arrives downstream at `now + latency`.
     pub fn send_flit(&mut self, now: u64, flit: Flit) {
         debug_assert!(
-            self.flits.back().map_or(true, |&(t, _)| t < now + self.latency as u64),
+            self.flits.back().is_none_or(|&(t, _)| t < now + self.latency as u64),
             "more than one flit per cycle on a link"
         );
         self.flits.push_back((now + self.latency as u64, flit));
@@ -101,6 +101,21 @@ impl Link {
     /// Number of flits currently in flight (used by drain checks).
     pub fn in_flight(&self) -> usize {
         self.flits.len()
+    }
+
+    /// Flits in flight destined for downstream input VC `vc` (audit).
+    pub fn flits_in_flight_on_vc(&self, vc: u8) -> u32 {
+        self.flits.iter().filter(|&&(_, f)| f.vc == vc).count() as u32
+    }
+
+    /// Credits in flight back upstream for VC `vc` (audit).
+    pub fn credits_in_flight_for_vc(&self, vc: u8) -> u32 {
+        self.credits.iter().filter(|&&(_, v)| v == vc).count() as u32
+    }
+
+    /// All in-flight flits, oldest first (audit).
+    pub fn iter_flits(&self) -> impl Iterator<Item = &Flit> {
+        self.flits.iter().map(|(_, f)| f)
     }
 }
 

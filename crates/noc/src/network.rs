@@ -15,6 +15,7 @@
 //! extra input port fed by a private link with NI-side credit counters) and
 //! the per-port ejection queues.
 
+use crate::audit::{self, AuditConfig, AuditState, Violation};
 use crate::config::NocConfig;
 use crate::flit::{Flit, MessageClass};
 use crate::link::{CreditDst, Link, LinkKind};
@@ -32,11 +33,11 @@ use std::ops::Range;
 pub struct InjectorId(pub(crate) usize);
 
 #[derive(Debug)]
-struct Injector {
+pub(crate) struct Injector {
     link: usize,
     router: usize,
     /// NI-side credit counter per VC of the fed input port.
-    credits: Vec<u32>,
+    pub(crate) credits: Vec<u32>,
     /// VC chosen for the packet currently being streamed in.
     active_vc: Option<u8>,
     /// Cycle of the last accepted flit (enforces one flit per cycle).
@@ -46,14 +47,14 @@ struct Injector {
 /// A cycle-accurate mesh network.
 #[derive(Debug)]
 pub struct Network {
-    cfg: NocConfig,
-    routers: Vec<Router>,
-    links: Vec<Link>,
-    injectors: Vec<Injector>,
+    pub(crate) cfg: NocConfig,
+    pub(crate) routers: Vec<Router>,
+    pub(crate) links: Vec<Link>,
+    pub(crate) injectors: Vec<Injector>,
     /// Ejection queues indexed `[router][port]` (only `Eject` ports used).
-    eject: Vec<Vec<VecDeque<Flit>>>,
+    pub(crate) eject: Vec<Vec<VecDeque<Flit>>>,
     stats: NetStats,
-    cycle: u64,
+    pub(crate) cycle: u64,
     /// Cached local injector ids per node (row-major).
     local_injectors: Vec<InjectorId>,
     /// Scratch buffer for credit delivery.
@@ -63,6 +64,9 @@ pub struct Network {
     sa_winners: Vec<Option<(usize, usize)>>,
     /// Opt-in flit-event recorder (disabled by default).
     trace: Trace,
+    /// Opt-in invariant auditor (disabled by default; boxed so the
+    /// disabled case costs one pointer and a branch per cycle).
+    pub(crate) audit: Option<Box<AuditState>>,
 }
 
 impl Network {
@@ -96,6 +100,7 @@ impl Network {
             credit_scratch: Vec::new(),
             sa_winners: Vec::new(),
             trace: Trace::default(),
+            audit: None,
         };
         // Mesh links.
         for i in 0..n {
@@ -281,6 +286,9 @@ impl Network {
         self.links[link].send_flit(self.cycle, flit);
         self.stats.count_link_flit(kind);
         self.stats.injected_flits += 1;
+        if let Some(a) = self.audit.as_deref_mut() {
+            a.injected[audit::class_ix(class)] += 1;
+        }
         if self.trace.enabled() {
             self.trace.record(TraceEvent {
                 cycle: self.cycle,
@@ -295,7 +303,11 @@ impl Network {
 
     /// Pops one ejected flit from `(router, port)`, if any.
     pub fn pop_ejected(&mut self, router: usize, port: usize) -> Option<Flit> {
-        self.eject[router][port].pop_front()
+        let f = self.eject[router][port].pop_front();
+        if let (Some(f), Some(a)) = (f.as_ref(), self.audit.as_deref_mut()) {
+            a.note_pop(f.class);
+        }
+        f
     }
 
     /// Pops one ejected flit from any ejection port of the router at
@@ -304,6 +316,9 @@ impl Network {
         let r = node.to_index(self.cfg.width);
         for q in self.eject[r].iter_mut() {
             if let Some(f) = q.pop_front() {
+                if let Some(a) = self.audit.as_deref_mut() {
+                    a.note_pop(f.class);
+                }
                 return Some(f);
             }
         }
@@ -321,6 +336,9 @@ impl Network {
         }
         self.cycle += 1;
         self.stats.cycles = self.cycle;
+        if self.audit.is_some() {
+            self.audit_step();
+        }
     }
 
     fn deliver_credits(&mut self, now: u64) {
@@ -525,7 +543,7 @@ impl Network {
         let mut winners = std::mem::take(&mut self.sa_winners); // (in_vc, out_port)
         winners.clear();
         winners.resize(nports, None);
-        for ip in 0..nports {
+        for (ip, winner) in winners.iter_mut().enumerate() {
             let r = &self.routers[ri];
             let nvcs = r.inputs[ip].vcs.len();
             let start = r.inputs[ip].sa_ptr;
@@ -550,7 +568,7 @@ impl Network {
                     OutputRole::Dead => false,
                 };
                 if has_credit {
-                    winners[ip] = Some((iv, op));
+                    *winner = Some((iv, op));
                     break;
                 }
             }
@@ -642,6 +660,133 @@ impl Network {
         self.routers.iter().all(|r| r.buffered_flits() == 0)
             && self.links.iter().all(|l| l.in_flight() == 0)
             && self.eject.iter().flatten().all(|q| q.is_empty())
+    }
+
+    /// Enables the invariant auditor. The per-class injection ledgers are
+    /// seeded with the flits currently resident so flit conservation holds
+    /// even when auditing starts mid-run.
+    pub fn enable_audit(&mut self, cfg: AuditConfig) {
+        let mut state = AuditState::new(cfg);
+        state.injected = audit::resident_by_class(self);
+        state.last_progress_cycle = self.cycle;
+        self.audit = Some(Box::new(state));
+    }
+
+    /// `true` when the auditor is active.
+    pub fn audit_enabled(&self) -> bool {
+        self.audit.is_some()
+    }
+
+    /// Violations retained so far (always empty while
+    /// `panic_on_violation` is set, since those panic instead).
+    pub fn audit_violations(&self) -> &[Violation] {
+        self.audit.as_deref().map_or(&[], |a| &a.violations)
+    }
+
+    /// Drains and returns the retained violations.
+    pub fn take_audit_violations(&mut self) -> Vec<Violation> {
+        self.audit
+            .as_deref_mut()
+            .map_or_else(Vec::new, |a| std::mem::take(&mut a.violations))
+    }
+
+    /// Conservation/escape sweeps performed so far — lets tests assert the
+    /// auditor actually ran rather than being vacuously green.
+    pub fn audit_sweeps(&self) -> u64 {
+        self.audit.as_deref().map_or(0, |a| a.sweeps)
+    }
+
+    /// Tail flits currently resident in this network (router buffers,
+    /// links, ejection queues). One per packet in flight, which is what
+    /// system-level packet accounting needs.
+    pub fn resident_tail_flits(&self) -> u64 {
+        let bufs: u64 = self
+            .routers
+            .iter()
+            .flat_map(|r| &r.inputs)
+            .flat_map(|p| &p.vcs)
+            .flat_map(|vc| &vc.buf)
+            .filter(|(_, f)| f.is_tail())
+            .count() as u64;
+        let links: u64 = self
+            .links
+            .iter()
+            .flat_map(|l| l.iter_flits())
+            .filter(|f| f.is_tail())
+            .count() as u64;
+        let eject: u64 = self
+            .eject
+            .iter()
+            .flatten()
+            .flatten()
+            .filter(|f| f.is_tail())
+            .count() as u64;
+        bufs + links + eject
+    }
+
+    /// Fault-injection hook for auditor tests: steals one credit from the
+    /// first link-role output VC `vc` of the router at `node` that has
+    /// any. Returns `false` if no credit was available to leak. Breaks the
+    /// credit-conservation invariant by construction — never call outside
+    /// tests.
+    #[doc(hidden)]
+    pub fn fault_leak_credit(&mut self, node: Coord, vc: u8) -> bool {
+        let r = node.to_index(self.cfg.width);
+        for out in &mut self.routers[r].outputs {
+            if matches!(out.role, OutputRole::Link(_)) && out.vcs[vc as usize].credits > 0 {
+                out.vcs[vc as usize].credits -= 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Fault-injection hook for auditor tests: silently discards the
+    /// oldest flit of the first non-empty input VC of the router at
+    /// `node`. Returns `false` when nothing was buffered there. Breaks
+    /// both flit and credit conservation — never call outside tests.
+    #[doc(hidden)]
+    pub fn fault_drop_flit(&mut self, node: Coord) -> bool {
+        let r = node.to_index(self.cfg.width);
+        for port in &mut self.routers[r].inputs {
+            for vc in &mut port.vcs {
+                if vc.buf.pop_front().is_some() {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Per-cycle audit work: watchdog progress tracking every cycle, full
+    /// conservation/escape sweeps every `check_interval` cycles. Performs
+    /// no allocation unless a violation is found.
+    fn audit_step(&mut self) {
+        let a = self.audit.as_deref().expect("audit enabled");
+        let (interval, window) = (a.cfg.check_interval.max(1), a.cfg.watchdog_window);
+        let progress = self.stats.injected_flits + self.stats.xbar_traversals + a.pops;
+        let mut fresh = Vec::new();
+        {
+            let a = self.audit.as_deref_mut().expect("audit enabled");
+            if progress != a.last_progress {
+                a.last_progress = progress;
+                a.last_progress_cycle = self.cycle;
+            }
+        }
+        let stalled = self.cycle - self.audit.as_deref().expect("audit enabled").last_progress_cycle;
+        if window > 0 && stalled >= window {
+            if !self.quiescent() {
+                fresh.push(Violation::Deadlock(audit::deadlock_report(self, stalled)));
+            }
+            // Restart the window — an idle network is simply idle, and
+            // after a report (panic off) don't re-report every cycle.
+            self.audit.as_deref_mut().expect("audit enabled").last_progress_cycle = self.cycle;
+        }
+        if self.cycle.is_multiple_of(interval) {
+            audit::sweep(self, &mut fresh);
+            self.audit.as_deref_mut().expect("audit enabled").sweeps += 1;
+        }
+        audit::record_violations(self, fresh);
     }
 
     /// Current cycle count.

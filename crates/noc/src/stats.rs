@@ -97,6 +97,12 @@ impl NetStats {
 
     /// Merges another stats block into this one (used when a scheme runs
     /// several physical networks, e.g. DA2Mesh's eight reply subnets).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a router count mismatch: merging stats from differently
+    /// sized networks would silently drop the per-router accumulators and
+    /// corrupt the Figure 4 heat maps, so it is rejected loudly instead.
     pub fn merge(&mut self, other: &NetStats) {
         self.cycles = self.cycles.max(other.cycles);
         self.buffer_writes += other.buffer_writes;
@@ -108,11 +114,17 @@ impl NetStats {
         self.link_flits_ni += other.link_flits_ni;
         self.ejected_flits += other.ejected_flits;
         self.injected_flits += other.injected_flits;
-        if self.router_flits.len() == other.router_flits.len() {
-            for i in 0..self.router_flits.len() {
-                self.router_flits[i] += other.router_flits[i];
-                self.router_cycles[i] += other.router_cycles[i];
-            }
+        assert_eq!(
+            self.router_flits.len(),
+            other.router_flits.len(),
+            "router count mismatch in NetStats::merge ({} vs {}): \
+             per-router counters only merge between equally sized networks",
+            self.router_flits.len(),
+            other.router_flits.len()
+        );
+        for i in 0..self.router_flits.len() {
+            self.router_flits[i] += other.router_flits[i];
+            self.router_cycles[i] += other.router_cycles[i];
         }
     }
 }
@@ -163,6 +175,14 @@ mod tests {
         assert_eq!(a.cycles, 100, "cycles take the max, not the sum");
         assert_eq!(a.router_flits, vec![11, 22]);
         assert_eq!(a.router_cycles, vec![33, 44]);
+    }
+
+    #[test]
+    #[should_panic(expected = "router count mismatch")]
+    fn merge_rejects_mismatched_router_counts() {
+        let mut a = NetStats::new(2);
+        let b = NetStats::new(3);
+        a.merge(&b);
     }
 
     #[test]

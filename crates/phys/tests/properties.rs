@@ -24,7 +24,7 @@ fn segment(rng: &mut Rng) -> Segment {
 }
 
 fn segments(rng: &mut Rng, max: usize) -> Vec<Segment> {
-    let n = rng.random_range(0..max) as usize;
+    let n = rng.random_range(0..max);
     (0..n).map(|_| segment(rng)).collect()
 }
 

@@ -109,7 +109,7 @@ impl Pe {
             None => self.profile.mem_rate,
             Some(len) => {
                 let retired = quota - self.remaining;
-                if (retired / len) % 2 == 0 {
+                if (retired / len).is_multiple_of(2) {
                     (self.profile.mem_rate * 1.5).min(1.0)
                 } else {
                     self.profile.mem_rate * 0.5

@@ -1,10 +1,12 @@
 //! Integration tests of the §4 design pipeline across crates:
 //! placement → MCTS → physical checks.
 
-use equinox_suite::core::EquiNoxDesign;
+use equinox_suite::core::{EquiNoxDesign, SchemeKind, System, SystemConfig};
 use equinox_suite::mcts::eval::{evaluate, EvalWeights};
 use equinox_suite::mcts::problem::EirProblem;
+use equinox_suite::noc::AuditConfig;
 use equinox_suite::phys::segment::count_crossings;
+use equinox_suite::traffic::{profile::benchmark, Workload};
 
 fn design() -> EquiNoxDesign {
     EquiNoxDesign::search_k(8, 8, 600, 7, 2)
@@ -67,6 +69,23 @@ fn design_improves_the_evaluation_over_no_eirs() {
 fn ubumps_scale_with_selected_links() {
     let d = design();
     assert_eq!(d.ubump_count(128), d.num_links() * 256);
+}
+
+#[test]
+fn designed_system_runs_clean_under_audit() {
+    // The searched design's EIR ports and interposer links go through the
+    // same credit/escape-VC discipline as the mesh proper; an audited
+    // run proves the design search never emits a machine that only works
+    // by leaking flits.
+    let workload = Workload::new(benchmark("bfs").unwrap(), 0.05, 7);
+    let mut cfg = SystemConfig::new(SchemeKind::EquiNox, 8, workload);
+    cfg.design = Some(design());
+    cfg.audit = Some(AuditConfig {
+        check_interval: 16,
+        ..AuditConfig::default()
+    });
+    let m = System::build(cfg).run();
+    assert!(m.completed, "EquiNox stalled under audit at {}", m.cycles);
 }
 
 #[test]

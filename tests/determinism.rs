@@ -75,6 +75,22 @@ fn assert_metrics_identical(a: &RunMetrics, b: &RunMetrics) {
 // the assertions below fail.
 
 #[test]
+fn audited_run_is_bit_identical_to_unaudited_run() {
+    // The auditor's sweeps are read-only: enabling it must not perturb a
+    // single metric, or `--audit` validation runs would not vouch for the
+    // published (unaudited) numbers.
+    let go = |audit: bool| {
+        let workload = Workload::new(benchmark("hotspot").unwrap(), 0.08, 11);
+        let mut cfg = SystemConfig::new(SchemeKind::SeparateBase, 8, workload);
+        cfg.audit = audit.then(equinox_suite::noc::AuditConfig::default);
+        System::build(cfg).run()
+    };
+    let plain = go(false);
+    let audited = go(true);
+    assert_metrics_identical(&plain, &audited);
+}
+
+#[test]
 fn sweep_matrix_is_worker_count_independent() {
     let schemes = &SchemeKind::ALL[..2];
     let benches = ["gaussian", "bfs"];

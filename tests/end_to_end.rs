@@ -2,6 +2,7 @@
 //! completion, and reports coherent metrics.
 
 use equinox_suite::core::{SchemeKind, System, SystemConfig};
+use equinox_suite::noc::AuditConfig;
 use equinox_suite::traffic::{profile::benchmark, Workload};
 
 fn run(scheme: SchemeKind, bench: &str, scale: f64) -> equinox_suite::core::RunMetrics {
@@ -30,6 +31,33 @@ fn all_seven_schemes_complete_a_compute_bound_benchmark() {
     for scheme in SchemeKind::ALL {
         let m = run(scheme, "myocyte", 0.1);
         assert!(m.completed, "{} stalled", scheme.name());
+    }
+}
+
+#[test]
+fn all_seven_schemes_pass_an_audited_smoke_run() {
+    // Same machines, with the invariant auditor armed: credit/flit
+    // conservation, escape-VC discipline and packet accounting are
+    // checked throughout, and any violation panics the test.
+    for scheme in SchemeKind::ALL {
+        let profile = benchmark("kmeans").expect("benchmark in suite");
+        let mut cfg = SystemConfig::new(scheme, 8, Workload::new(profile, 0.05, 42));
+        cfg.max_cycles = 400_000;
+        cfg.audit = Some(AuditConfig {
+            check_interval: 16,
+            ..AuditConfig::default()
+        });
+        let mut sys = System::build(cfg);
+        let m = sys.run();
+        assert!(m.completed, "{} stalled under audit", scheme.name());
+        assert!(sys.audit_findings().is_empty());
+        for net in sys.networks() {
+            assert!(
+                net.audit_sweeps() > 0,
+                "{}: auditor never swept a network",
+                scheme.name()
+            );
+        }
     }
 }
 

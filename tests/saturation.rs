@@ -39,6 +39,20 @@ fn equinox_at_least_doubles_reply_injection_bandwidth() {
 }
 
 #[test]
+fn audited_load_point_matches_unaudited_point() {
+    // `EQUINOX_AUDIT` is what the sweep binary's `--audit` flag sets; the
+    // worker threads read it per measured point. The audited curve must
+    // be bit-identical — the sweeps are read-only — and violation-free
+    // (the default config panics on the first one).
+    let p = Placement::diamond(8, 8, 8);
+    let plain = load_latency_curve(&p, &ReplySide::Local, &[0.3], 2_000, 5);
+    std::env::set_var("EQUINOX_AUDIT", "1");
+    let audited = load_latency_curve(&p, &ReplySide::Local, &[0.3], 2_000, 5);
+    std::env::remove_var("EQUINOX_AUDIT");
+    assert_eq!(plain, audited, "auditor must not perturb the measurement");
+}
+
+#[test]
 fn below_saturation_both_accept_the_offered_load() {
     let design = EquiNoxDesign::search_k(8, 8, 400, 7, 1);
     for side in [ReplySide::Local, ReplySide::Equinox(design.clone())] {
