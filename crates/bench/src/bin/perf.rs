@@ -1,17 +1,26 @@
 //! `perf` — micro-benchmark of the simulation substrate itself.
 //!
 //! ```text
-//! perf [--scale S] [--threads N] [--quick] [--audit]
+//! perf [--scale S] [--threads N] [--quick] [--audit] [--no-activity-gate]
 //! ```
 //!
 //! `--audit` enables the invariant auditor (`EQUINOX_AUDIT=1`) inside the
 //! timed runs — useful for measuring its overhead, never for baselines.
+//! `--no-activity-gate` (`EQUINOX_NO_ACTIVITY_GATE=1`) disables the
+//! activity-driven stepping, i.e. measures the exhaustive
+//! every-router-every-cycle sweep — useful for quantifying what the gate
+//! buys, never for baselines.
 //!
-//! Reports two numbers as a single JSON line on stdout:
+//! Reports three rates as a single JSON line on stdout:
 //!
 //! * `single_cycles_per_sec` — simulated cycles per wall-clock second of
-//!   one full-system run (the hot-loop figure of merit; this is what the
-//!   allocation-free `Network::step()` refactor speeds up), and
+//!   one saturated full-system run (the hot-loop figure of merit; this
+//!   is what the allocation-free `Network::step()` refactor speeds up),
+//! * `low_load_cycles_per_sec` — cycles per second of a low-load
+//!   load–latency point (offered 0.02 replies/CB/cycle, where most
+//!   routers are idle most cycles — the regime that dominates
+//!   load–latency curves and benchmark sweeps, and the figure of merit
+//!   for activity-gated stepping), and
 //! * `sweep_wall_s` — wall-clock seconds for the quick scheme × benchmark
 //!   repro sweep on the worker pool (the parallel-fan-out figure of
 //!   merit).
@@ -21,14 +30,19 @@
 //! baseline lives in `BENCH_perf.json`; `scripts/check.sh` compares
 //! `single_cycles_per_sec` against it with a tolerance band.
 
-use equinox_bench::{design_for, run_matrix, run_one, QUICK_BENCHES};
+use equinox_bench::{design_for, run_matrix, run_one, timed_run, QUICK_BENCHES};
+use equinox_core::loadlat::{load_latency_curve, ReplySide};
 use equinox_core::SchemeKind;
+use equinox_placement::Placement;
 use std::time::Instant;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--audit") {
         std::env::set_var("EQUINOX_AUDIT", "1");
+    }
+    if args.iter().any(|a| a == "--no-activity-gate") {
+        std::env::set_var("EQUINOX_NO_ACTIVITY_GATE", "1");
     }
     let scale = args
         .iter()
@@ -53,14 +67,32 @@ fn main() {
     let _ = design_for(8);
     let _ = run_one(SchemeKind::SeparateBase, 8, "kmeans", scale, 1);
 
-    // Single-simulation cycle rate (sequential hot loop).
+    // Single-simulation cycle rate (sequential hot loop), saturated
+    // (kmeans is network-bound — the gate keeps nearly everything
+    // active, so this figure guards against gating overhead). Only the
+    // run loop is timed; `System::build` cost would otherwise dominate
+    // short runs and hide stepping regressions.
     let reps = if quick { 1 } else { 3 };
     let mut best_rate = 0f64;
     for _ in 0..reps {
+        let (cycles, secs) = timed_run(SchemeKind::SeparateBase, 8, "kmeans", scale, 1);
+        best_rate = best_rate.max(cycles as f64 / secs);
+    }
+
+    // Low-load cycle rate: one load–latency point at a deeply
+    // sub-saturation offered rate. Almost every router is idle almost
+    // every cycle, so this measures what activity-gated stepping buys
+    // on the regions that dominate load–latency curves.
+    let placement = Placement::diamond(8, 8, 8);
+    let low_cycles = 50_000u64;
+    let _ = load_latency_curve(&placement, &ReplySide::Local, &[0.02], 5_000, 1);
+    let mut low_load_rate = 0f64;
+    for _ in 0..reps {
         let t0 = Instant::now();
-        let m = run_one(SchemeKind::SeparateBase, 8, "kmeans", scale, 1);
-        let rate = m.cycles as f64 / t0.elapsed().as_secs_f64();
-        best_rate = best_rate.max(rate);
+        let pts = load_latency_curve(&placement, &ReplySide::Local, &[0.02], low_cycles, 1);
+        let rate = low_cycles as f64 / t0.elapsed().as_secs_f64();
+        assert!(pts[0].throughput > 0.0, "low-load run carried no traffic");
+        low_load_rate = low_load_rate.max(rate);
     }
 
     // Quick repro sweep (7 schemes × 6 benchmarks × 2 seeds) on the pool.
@@ -70,8 +102,9 @@ fn main() {
     let sims = rows.iter().map(|r| r.len()).sum::<usize>() * seeds.len();
 
     println!(
-        "{{\"single_cycles_per_sec\": {:.0}, \"sweep_wall_s\": {:.3}, \"sweep_sims\": {}, \"threads\": {}, \"scale\": {}}}",
+        "{{\"single_cycles_per_sec\": {:.0}, \"low_load_cycles_per_sec\": {:.0}, \"sweep_wall_s\": {:.3}, \"sweep_sims\": {}, \"threads\": {}, \"scale\": {}}}",
         best_rate,
+        low_load_rate,
         sweep_wall_s,
         sims,
         equinox_exec::thread_count(),

@@ -1,7 +1,8 @@
 //! `repro` — regenerates every table and figure of the EquiNox paper.
 //!
 //! ```text
-//! repro <table1|fig4|fig5|fig7|fig9|fig10|fig11|fig12|ubumps|ablation|all> [--full] [--scale S] [--audit]
+//! repro <table1|fig4|fig5|fig7|fig9|fig10|fig11|fig12|ubumps|ablation|all>
+//!       [--full] [--scale S] [--audit] [--no-activity-gate]
 //! ```
 //!
 //! `fig9`/`fig10` default to the 6-benchmark quick subset; pass `--full`
@@ -13,6 +14,9 @@
 //! inherit): every simulated system checks credit/flit conservation,
 //! escape-VC compliance and packet accounting, and panics on the first
 //! violation or deadlock instead of producing silently-wrong tables.
+//! `--no-activity-gate` (`EQUINOX_NO_ACTIVITY_GATE=1`) falls back to the
+//! exhaustive every-router-every-cycle sweep — an escape hatch for
+//! cross-checking the (bit-identical) activity-gated default.
 
 use equinox_bench::{
     all_bench_names, design_for, run_matrix, run_seeds, strong_design_8x8, QUICK_BENCHES,
@@ -37,6 +41,9 @@ fn main() {
         // Before any worker-pool or simulation activity, so every thread
         // inherits it (see `SystemConfig::new` / `audit_from_env`).
         std::env::set_var("EQUINOX_AUDIT", "1");
+    }
+    if args.iter().any(|a| a == "--no-activity-gate") {
+        std::env::set_var("EQUINOX_NO_ACTIVITY_GATE", "1");
     }
     let cmd = args.first().map(String::as_str).unwrap_or("all");
     let full = args.iter().any(|a| a == "--full");

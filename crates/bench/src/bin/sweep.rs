@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! sweep [--n 8] [--cycles 6000] [--out curve.csv] [--threads N] [--audit]
+//!       [--no-activity-gate]
 //! ```
 //!
 //! Emits `offered,baseline_latency,baseline_throughput,equinox_latency,
@@ -10,6 +11,9 @@
 //! `EQUINOX_THREADS`) pins the worker count without changing the output.
 //! `--audit` sets `EQUINOX_AUDIT=1` so every measured network runs with
 //! the invariant auditor enabled (panics on the first violation).
+//! `--no-activity-gate` sets `EQUINOX_NO_ACTIVITY_GATE=1` to fall back
+//! to exhaustive every-router-every-cycle stepping (bit-identical,
+//! slower — an escape hatch and cross-check).
 
 use equinox_core::loadlat::{load_latency_curve, ReplySide};
 use equinox_core::EquiNoxDesign;
@@ -18,6 +22,9 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--audit") {
         std::env::set_var("EQUINOX_AUDIT", "1");
+    }
+    if args.iter().any(|a| a == "--no-activity-gate") {
+        std::env::set_var("EQUINOX_NO_ACTIVITY_GATE", "1");
     }
     let get = |name: &str, default: u64| -> u64 {
         args.iter()

@@ -59,6 +59,25 @@ pub fn run_one(scheme: SchemeKind, n: u16, bench: &str, scale: f64, seed: u64) -
     System::build(cfg).run()
 }
 
+/// Like [`run_one`], but times only the simulation loop: the system is
+/// built (and the EquiNox design resolved) outside the timer, so the
+/// returned `(cycles, seconds)` measure stepping cost alone. Short
+/// runs make `run_one`-based rates build-dominated; perf figures use
+/// this instead.
+pub fn timed_run(scheme: SchemeKind, n: u16, bench: &str, scale: f64, seed: u64) -> (u64, f64) {
+    let profile = equinox_traffic::profile::benchmark(bench)
+        .unwrap_or_else(|| panic!("unknown benchmark {bench}"));
+    let workload = Workload::new(profile, scale, seed);
+    let mut cfg = SystemConfig::new(scheme, n, workload);
+    if scheme == SchemeKind::EquiNox {
+        cfg.design = Some(design_for(n));
+    }
+    let mut sys = System::build(cfg);
+    let t0 = std::time::Instant::now();
+    let m = sys.run();
+    (m.cycles, t0.elapsed().as_secs_f64())
+}
+
 /// Runs `scheme` over several seeds and returns the metrics of the
 /// median-cycles run rescaled to the seed-geomean cycle count (pinning
 /// dynamics make single runs noisy; the paper averages full benchmarks).

@@ -58,6 +58,14 @@ pub struct SystemConfig {
     /// sets), so worker-pool threads inherit the choice; `None` disables
     /// all audit work.
     pub audit: Option<equinox_noc::AuditConfig>,
+    /// Activity-driven stepping: gate each network's sweep to its active
+    /// routers/links, and fast-forward the whole machine across
+    /// quiescent stretches (PEs blocked on MSHRs while HBM timing runs
+    /// down). Bit-identical to exhaustive stepping by construction;
+    /// defaults from the `EQUINOX_NO_ACTIVITY_GATE` environment variable
+    /// (the binaries' `--no-activity-gate` escape hatch sets it), so
+    /// worker-pool threads inherit the choice.
+    pub activity_gate: bool,
 }
 
 impl SystemConfig {
@@ -78,6 +86,7 @@ impl SystemConfig {
             pipeline_extra: 0,
             reply_compression: 0.0,
             audit: equinox_noc::audit_from_env(),
+            activity_gate: equinox_noc::activity_gate_from_env(),
         }
     }
 }
@@ -107,6 +116,12 @@ pub struct System {
     live_pes: usize,
     req_nis: Vec<Option<InjectionQueue>>,
     cbs: Vec<CacheBank>,
+    /// Earliest cycle each cache bank must actually be ticked (activity
+    /// gating): while a bank is [`CacheBank::skippable`] its tick is a
+    /// pure no-op until the next timed event, so the tick is skipped
+    /// entirely. Reset to "now + 1" whenever the bank accepts a request
+    /// or reports itself non-skippable.
+    cb_tick_due: Vec<u64>,
     rep_nis: Vec<InjectionQueue>,
     /// Reply sinks per PE node: (sinks, node index).
     pe_sinks: Vec<(Sink, usize)>,
@@ -159,6 +174,7 @@ impl System {
 
         let pipe = |mut c: NocConfig| {
             c.pipeline_extra = cfg.pipeline_extra;
+            c.activity_gate = cfg.activity_gate;
             c
         };
         let mut nets: Vec<Network> = Vec::new();
@@ -467,6 +483,7 @@ impl System {
             rdl_link_mm,
             pes,
             req_nis,
+            cb_tick_due: vec![0; cbs.len()],
             cbs,
             rep_nis,
             pe_sinks,
@@ -483,17 +500,50 @@ impl System {
         }
     }
 
+    /// Pre-reserves packet-tracker capacity for `n` more packets, so a
+    /// measured (allocation-free) window can move the record-table
+    /// growth out of its timing.
+    pub fn reserve_packets(&mut self, n: usize) {
+        self.tracker.reserve(n);
+    }
+
     /// Index of the cache bank serving `addr` (line-interleaved).
     pub fn cb_for_addr(&self, addr: u64) -> usize {
         ((addr / 64) % self.cbs.len() as u64) as usize
     }
 
-    /// Advances the machine one core cycle.
+    /// Advances the machine one core cycle. When the activity gate is on
+    /// and the machine is provably inert, the clock first jumps across
+    /// the quiescent stretch (see [`System::try_fast_forward`]) and the
+    /// real cycle is then simulated at the landing time.
     pub fn step(&mut self) {
+        if self.cfg.activity_gate {
+            self.try_fast_forward();
+        }
         let t = self.cycle;
-        // Cache banks: memory + reply generation.
+        // Cache banks: memory + reply generation. Under the activity
+        // gate a bank whose next tick is provably a no-op (see
+        // `CacheBank::skippable` / `CacheBank::next_event`) is skipped
+        // until its next timed event comes due — the dominant per-cycle
+        // saving at low load, where the HBM channel scan would otherwise
+        // run every cycle for every bank.
         for ci in 0..self.cbs.len() {
-            self.cbs[ci].tick(t, &mut self.tracker, &mut self.rep_nis[ci]);
+            if self.cfg.activity_gate {
+                if t < self.cb_tick_due[ci] {
+                    continue;
+                }
+                self.cbs[ci].tick(t, &mut self.tracker, &mut self.rep_nis[ci]);
+                self.cb_tick_due[ci] = if self.cbs[ci].skippable() {
+                    match self.cbs[ci].next_event() {
+                        Some(e) => e.max(t + 1),
+                        None => u64::MAX, // woken by the accept hook below
+                    }
+                } else {
+                    t + 1
+                };
+            } else {
+                self.cbs[ci].tick(t, &mut self.tracker, &mut self.rep_nis[ci]);
+            }
         }
         // PEs: execute and emit requests.
         let n_cbs = self.cbs.len() as u64;
@@ -526,11 +576,20 @@ impl System {
                 self.done_pes += 1;
             }
         }
-        // NIs stream flits into the networks.
+        // NIs stream flits into the networks. An idle NI's tick is a
+        // pure no-op (nothing queued, nothing in flight), so the gate
+        // skips the call.
+        let gate = self.cfg.activity_gate;
         for ni in self.req_nis.iter_mut().flatten() {
+            if gate && ni.is_idle() {
+                continue;
+            }
             ni.tick(&mut self.nets, &mut self.tracker, t);
         }
         for ni in self.rep_nis.iter_mut() {
+            if gate && ni.is_idle() {
+                continue;
+            }
             ni.tick(&mut self.nets, &mut self.tracker, t);
         }
         // Networks advance (subnets may step more than once).
@@ -541,8 +600,13 @@ impl System {
                 self.step_accum[i] -= 2;
             }
         }
-        // Drain replies at PEs.
+        // Drain replies at PEs. A network with nothing in any eject
+        // queue (O(1) check) cannot satisfy a pop, so its sinks are
+        // skipped wholesale.
         for &((net, r, p), node) in &self.pe_sinks {
+            if !self.nets[net].has_ejected() {
+                continue;
+            }
             while let Some(f) = self.nets[net].pop_ejected(r, p) {
                 if f.is_tail() {
                     self.tracker.mark_ejected(f.pkt.0, t);
@@ -559,12 +623,18 @@ impl System {
         }
         // Drain requests at CBs, gated by bank capacity.
         for &((net, r, p), ci) in &self.cb_sinks {
+            if !self.nets[net].has_ejected() {
+                continue;
+            }
             while self.cbs[ci].can_accept() {
                 match self.nets[net].pop_ejected(r, p) {
                     Some(f) => {
                         if f.is_tail() {
                             self.tracker.mark_ejected(f.pkt.0, t);
                             self.cbs[ci].accept(f.pkt.0, &self.tracker, t);
+                            // The accepted request re-arms the bank's
+                            // tick schedule (its next event changed).
+                            self.cb_tick_due[ci] = t + 1;
                         }
                     }
                     None => break,
@@ -574,6 +644,102 @@ impl System {
         self.cycle += 1;
         if self.cfg.audit.is_some() {
             self.audit_step();
+        }
+    }
+
+    /// Jumps the clock across a quiescent stretch, bit-identically.
+    ///
+    /// The machine is *quiescent* when simulating the next cycle would
+    /// change nothing except timed countdowns: every network is empty
+    /// (no buffered, in-flight or ejected flits, no credits in flight),
+    /// every NI is idle, every cache bank is parked on timed events only
+    /// (no ready/retrying/parked replies), and every PE is either done
+    /// or stalled on outstanding MSHR replies. In that state the only
+    /// future source of progress is a cache-bank timed event (an L2 hit
+    /// coming due or a DRAM bank/bus becoming ready), so the clock can
+    /// jump straight to the earliest such event.
+    ///
+    /// The jump length is capped so that every *observable* action lands
+    /// on exactly the cycle it would in an exhaustive run:
+    /// * never past `max_cycles` (the run loop must exit at the same
+    ///   cycle count),
+    /// * never across a system-audit sweep or watchdog expiry (audit
+    ///   checks evaluate at `t+1..=t+k` after the increment; both
+    ///   boundaries would fire mid-jump),
+    /// * never across a per-network audit boundary, translated through
+    ///   each subnet's clock ratio: over `k` core cycles a net with
+    ///   accumulator `a0` and rate `spt` half-steps takes
+    ///   `(a0 + k*spt)/2` steps, so `k` is capped at the largest value
+    ///   keeping that within the net's own [`Network::max_idle_skip`].
+    ///
+    /// Skipped PE cycles are charged to stall statistics via
+    /// [`Pe::note_skipped_stall`] so counters match the exhaustive run.
+    fn try_fast_forward(&mut self) {
+        let t = self.cycle;
+        if !self.nets.iter().all(Network::idle) {
+            return;
+        }
+        if !self
+            .req_nis
+            .iter()
+            .flatten()
+            .chain(self.rep_nis.iter())
+            .all(InjectionQueue::is_idle)
+        {
+            return;
+        }
+        if !self.cbs.iter().all(CacheBank::skippable) {
+            return;
+        }
+        if !self
+            .pes
+            .iter()
+            .flatten()
+            .all(|pe| pe.done() || pe.blocked_on_replies())
+        {
+            return;
+        }
+        let event = self.cbs.iter().filter_map(CacheBank::next_event).min();
+        // Resume real stepping AT the event cycle (events fire when
+        // `tick(now)` runs with `now >= due`).
+        let mut k = match event {
+            Some(e) => e.saturating_sub(t),
+            None => u64::MAX, // wedged; bounded below by max_cycles/audit
+        };
+        k = k.min(self.cfg.max_cycles.saturating_sub(t + 1));
+        if let Some(acfg) = &self.cfg.audit {
+            let interval = acfg.check_interval.max(1);
+            let next_sweep = (t / interval + 1) * interval;
+            k = k.min(next_sweep - 1 - t);
+            if acfg.watchdog_window > 0 {
+                let expiry = self.sys_last_progress_cycle + acfg.watchdog_window;
+                k = k.min(expiry.saturating_sub(t + 1));
+            }
+        }
+        for i in 0..self.nets.len() {
+            let s_max = self.nets[i].max_idle_skip();
+            if s_max > u64::MAX / 4 {
+                continue; // unaudited net: no boundary to respect
+            }
+            let spt = u64::from(self.steps_per_two[i]);
+            let a0 = u64::from(self.step_accum[i]);
+            // steps(k) = (a0 + k*spt) / 2 <= s_max  <=>  k <= budget/spt.
+            let budget = (2 * s_max + 1).saturating_sub(a0);
+            k = k.min(budget / spt);
+        }
+        if k == 0 {
+            return;
+        }
+        self.cycle += k;
+        for i in 0..self.nets.len() {
+            let total = u64::from(self.step_accum[i]) + k * u64::from(self.steps_per_two[i]);
+            self.nets[i].skip_idle(total / 2);
+            self.step_accum[i] = (total % 2) as u32;
+        }
+        for pe in self.pes.iter_mut().flatten() {
+            if !pe.done() {
+                pe.note_skipped_stall(k);
+            }
         }
     }
 

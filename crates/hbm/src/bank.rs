@@ -34,6 +34,11 @@ impl Bank {
         now >= self.busy_until
     }
 
+    /// First cycle at which the bank is ready again (next-event query).
+    pub fn busy_until(&self) -> u64 {
+        self.busy_until
+    }
+
     /// What the row buffer would do for `row` (without issuing).
     pub fn probe(&self, row: u64) -> RowOutcome {
         match self.open_row {

@@ -104,6 +104,31 @@ impl Channel {
         self.queue.len() + self.in_service.len()
     }
 
+    /// Earliest future cycle at which [`Channel::step`] could do
+    /// anything: the soonest in-service completion, or — when requests
+    /// are queued — the first cycle an issue could happen (every bank a
+    /// queued request targets is busy until then, and the bus may hold
+    /// the issue back further). `None` when the channel is empty.
+    ///
+    /// Exact with respect to the FR-FCFS scheduler: `pick` returns
+    /// `None` strictly before the returned cycle (no targeted bank is
+    /// ready and the retire loop has nothing due), so skipped `step`
+    /// calls are no-ops.
+    pub fn next_event(&self) -> Option<u64> {
+        let mut next = self.in_service.iter().map(|&(t, _)| t).min();
+        if !self.queue.is_empty() {
+            let bank_free = self
+                .queue
+                .iter()
+                .map(|r| self.banks[r.bank].busy_until())
+                .min()
+                .expect("queue nonempty");
+            let issue = bank_free.max(self.bus_busy_until);
+            next = Some(next.map_or(issue, |n| n.min(issue)));
+        }
+        next
+    }
+
     /// Aggregate row-buffer statistics over all banks:
     /// `(hits, misses, conflicts)`.
     pub fn row_stats(&self) -> (u64, u64, u64) {

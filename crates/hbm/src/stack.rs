@@ -45,6 +45,9 @@ pub struct HbmStack {
     completed: VecDeque<Completion>,
     /// Total accesses accepted.
     pub accesses: u64,
+    /// Reused completion scratch for `step` (keeps the hot loop
+    /// allocation-free).
+    done_scratch: Vec<(u64, u64)>,
 }
 
 impl HbmStack {
@@ -61,6 +64,7 @@ impl HbmStack {
             channels: (0..cfg.channels).map(|_| Channel::new(&cfg)).collect(),
             completed: VecDeque::new(),
             accesses: 0,
+            done_scratch: Vec::new(),
             cfg,
         }
     }
@@ -110,16 +114,29 @@ impl HbmStack {
 
     /// Advances all channels one cycle.
     pub fn step(&mut self, now: u64) {
-        let mut done: Vec<(u64, u64)> = Vec::new();
+        let mut done = std::mem::take(&mut self.done_scratch);
+        done.clear();
         for ch in &mut self.channels {
             ch.step(now, &self.cfg, &mut done);
         }
-        for (t, id) in done {
+        for &(t, id) in &done {
             self.completed.push_back(Completion {
                 id,
                 finished_at: t,
             });
         }
+        self.done_scratch = done;
+    }
+
+    /// Earliest future cycle at which [`HbmStack::step`] (or a
+    /// [`HbmStack::pop_completed`] poll) could make progress, or `None`
+    /// when the stack is completely empty. Undrained completions report
+    /// `Some(0)`: the caller still has work to pick up *now*.
+    pub fn next_event(&self) -> Option<u64> {
+        if !self.completed.is_empty() {
+            return Some(0);
+        }
+        self.channels.iter().filter_map(Channel::next_event).min()
     }
 
     /// Pops one finished access, if any.

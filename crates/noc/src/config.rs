@@ -101,6 +101,28 @@ pub struct NocConfig {
     /// then propagates into the network, which is how reply-side
     /// congestion stretches request latencies (§6.4's parking-lot effect).
     pub eject_cap: usize,
+    /// Step only routers and links on the active worklist instead of
+    /// sweeping the whole mesh every cycle. A router with no buffered
+    /// flit is an exact no-op in every pipeline stage, so gating is
+    /// bit-identical to the exhaustive sweep; this flag exists purely as
+    /// a cross-checking escape hatch (`--no-activity-gate`).
+    pub activity_gate: bool,
+}
+
+/// `true` unless `EQUINOX_NO_ACTIVITY_GATE` is set to a truthy value.
+///
+/// Mirrors [`crate::audit::audit_from_env`]: worker threads inherit the
+/// environment, so a process-wide opt-out stays consistent across the
+/// parallel sweep pool. Unset, empty, `0`, `false` and `off` keep the
+/// gate enabled.
+pub fn activity_gate_from_env() -> bool {
+    match std::env::var("EQUINOX_NO_ACTIVITY_GATE") {
+        Ok(v) => {
+            let v = v.trim().to_ascii_lowercase();
+            v.is_empty() || v == "0" || v == "false" || v == "off"
+        }
+        Err(_) => true,
+    }
 }
 
 impl NocConfig {
@@ -119,6 +141,12 @@ impl NocConfig {
             freq_ghz: 1.126,
             pipeline_extra: 0,
             eject_cap: 16,
+            // From the environment (like `audit_from_env`), so drivers
+            // that build `NocConfig`s directly — load-latency curves,
+            // property tests — honor the process-wide
+            // `--no-activity-gate` escape hatch too. `SystemConfig`
+            // still overrides this explicitly for full-system runs.
+            activity_gate: activity_gate_from_env(),
         }
     }
 

@@ -75,7 +75,7 @@ pub mod stats;
 pub mod trace;
 
 pub use audit::{audit_from_env, AuditConfig, DeadlockReport, Violation};
-pub use config::{NocConfig, RoutingKind, VcPartition};
+pub use config::{activity_gate_from_env, NocConfig, RoutingKind, VcPartition};
 pub use flit::{Flit, MessageClass, PacketDesc, PacketId};
 pub use link::LinkKind;
 pub use network::{InjectorId, Network};

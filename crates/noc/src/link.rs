@@ -103,6 +103,12 @@ impl Link {
         self.flits.len()
     }
 
+    /// Number of credits currently in flight back upstream (used by the
+    /// activity gate to keep a link on the credit worklist).
+    pub fn credits_pending(&self) -> usize {
+        self.credits.len()
+    }
+
     /// Flits in flight destined for downstream input VC `vc` (audit).
     pub fn flits_in_flight_on_vc(&self, vc: u8) -> u32 {
         self.flits.iter().filter(|&&(_, f)| f.vc == vc).count() as u32

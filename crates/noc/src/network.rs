@@ -44,6 +44,45 @@ pub(crate) struct Injector {
     last_cycle: u64,
 }
 
+/// A deduplicated worklist over a dense id space, kept sorted ascending
+/// so a gated sweep visits members in exactly the order the exhaustive
+/// `for id in 0..n` sweep would. The list's capacity always covers the
+/// whole id space, so inserts in the steady state never allocate.
+#[derive(Debug, Default)]
+struct ActiveSet {
+    /// `flags[id]` — membership bit (dedup for `insert`).
+    flags: Vec<bool>,
+    /// Member ids, sorted ascending.
+    list: Vec<u32>,
+}
+
+impl ActiveSet {
+    fn with_len(n: usize) -> Self {
+        ActiveSet {
+            flags: vec![false; n],
+            list: Vec::with_capacity(n),
+        }
+    }
+
+    /// Extends the id space by one (new id starts inactive).
+    fn grow(&mut self) {
+        self.flags.push(false);
+        let need = self.flags.len() - self.list.len();
+        self.list.reserve(need);
+    }
+
+    /// Adds `id` to the worklist, keeping the list sorted. No-op if
+    /// already present.
+    fn insert(&mut self, id: usize) {
+        if !self.flags[id] {
+            self.flags[id] = true;
+            let id = id as u32;
+            let pos = self.list.partition_point(|&x| x < id);
+            self.list.insert(pos, id);
+        }
+    }
+}
+
 /// A cycle-accurate mesh network.
 #[derive(Debug)]
 pub struct Network {
@@ -67,6 +106,23 @@ pub struct Network {
     /// Opt-in invariant auditor (disabled by default; boxed so the
     /// disabled case costs one pointer and a branch per cycle).
     pub(crate) audit: Option<Box<AuditState>>,
+    /// Routers that may do work this cycle (≥ 1 buffered flit).
+    active_routers: ActiveSet,
+    /// Links with flits in flight.
+    active_flit_links: ActiveSet,
+    /// Links with credits in flight.
+    active_credit_links: ActiveSet,
+    /// Buffered flits per router (mirrors `Router::buffered_flits`, kept
+    /// here because router unit tests mutate buffers directly).
+    router_buffered: Vec<u32>,
+    /// O(1) idleness aggregates: total flits buffered in routers, flits
+    /// in flight on links, credits in flight on links, and flits parked
+    /// in ejection queues. `idle()` is the conjunction of all four being
+    /// zero.
+    buffered_total: u64,
+    flits_in_flight: u64,
+    credits_in_flight: u64,
+    eject_occupancy: u64,
 }
 
 impl Network {
@@ -101,6 +157,14 @@ impl Network {
             sa_winners: Vec::new(),
             trace: Trace::default(),
             audit: None,
+            active_routers: ActiveSet::with_len(n),
+            active_flit_links: ActiveSet::default(),
+            active_credit_links: ActiveSet::default(),
+            router_buffered: vec![0; n],
+            buffered_total: 0,
+            flits_in_flight: 0,
+            credits_in_flight: 0,
+            eject_occupancy: 0,
         };
         // Mesh links.
         for i in 0..n {
@@ -111,8 +175,7 @@ impl Network {
                     // Link from router i (output port dir) to router j
                     // (input port opposite(dir)).
                     let to_port = dir.opposite().index();
-                    let link_id = net.links.len();
-                    net.links.push(Link::new(
+                    let link_id = net.push_link(Link::new(
                         LinkKind::Mesh,
                         net.cfg.link_latency,
                         j,
@@ -139,6 +202,15 @@ impl Network {
         net
     }
 
+    /// Appends a link and grows the per-link worklists with it.
+    fn push_link(&mut self, link: Link) -> usize {
+        let id = self.links.len();
+        self.links.push(link);
+        self.active_flit_links.grow();
+        self.active_credit_links.grow();
+        id
+    }
+
     fn attach_injector(
         &mut self,
         node: Coord,
@@ -148,8 +220,7 @@ impl Network {
     ) -> InjectorId {
         let r = node.to_index(self.cfg.width);
         let injector_idx = self.injectors.len();
-        let link_id = self.links.len();
-        self.links.push(Link::new(
+        let link_id = self.push_link(Link::new(
             kind,
             latency,
             r,
@@ -284,6 +355,8 @@ impl Network {
         let kind = self.links[link].kind;
         let to_router = self.links[link].to_router;
         self.links[link].send_flit(self.cycle, flit);
+        self.flits_in_flight += 1;
+        self.active_flit_links.insert(link);
         self.stats.count_link_flit(kind);
         self.stats.injected_flits += 1;
         if let Some(a) = self.audit.as_deref_mut() {
@@ -304,8 +377,11 @@ impl Network {
     /// Pops one ejected flit from `(router, port)`, if any.
     pub fn pop_ejected(&mut self, router: usize, port: usize) -> Option<Flit> {
         let f = self.eject[router][port].pop_front();
-        if let (Some(f), Some(a)) = (f.as_ref(), self.audit.as_deref_mut()) {
-            a.note_pop(f.class);
+        if let Some(f) = f.as_ref() {
+            self.eject_occupancy -= 1;
+            if let Some(a) = self.audit.as_deref_mut() {
+                a.note_pop(f.class);
+            }
         }
         f
     }
@@ -316,6 +392,7 @@ impl Network {
         let r = node.to_index(self.cfg.width);
         for q in self.eject[r].iter_mut() {
             if let Some(f) = q.pop_front() {
+                self.eject_occupancy -= 1;
                 if let Some(a) = self.audit.as_deref_mut() {
                     a.note_pop(f.class);
                 }
@@ -328,11 +405,10 @@ impl Network {
     /// Advances the network one cycle.
     pub fn step(&mut self) {
         let now = self.cycle;
-        self.deliver_credits(now);
-        self.deliver_flits(now);
-        for r in 0..self.routers.len() {
-            self.route_and_allocate(r);
-            self.switch(r, now);
+        if self.cfg.activity_gate {
+            self.step_gated(now);
+        } else {
+            self.step_exhaustive(now);
         }
         self.cycle += 1;
         self.stats.cycles = self.cycle;
@@ -341,14 +417,89 @@ impl Network {
         }
     }
 
-    fn deliver_credits(&mut self, now: u64) {
-        let mut scratch = std::mem::take(&mut self.credit_scratch);
+    /// Reference schedule: every link and every router, in id order.
+    /// The gated sweep must match this bit-for-bit.
+    fn step_exhaustive(&mut self, now: u64) {
         for li in 0..self.links.len() {
-            scratch.clear();
-            self.links[li].recv_credits(now, &mut scratch);
-            if scratch.is_empty() {
-                continue;
+            self.deliver_credits_link(li, now);
+        }
+        for li in 0..self.links.len() {
+            self.deliver_flits_link(li, now);
+        }
+        for r in 0..self.routers.len() {
+            self.route_and_allocate(r);
+            self.switch(r, now);
+        }
+    }
+
+    /// Activity-gated schedule: only links with traffic in flight and
+    /// routers with buffered flits are visited, in ascending id order —
+    /// the same relative order as the exhaustive sweep, whose skipped
+    /// elements are exact no-ops (an empty router allocates nothing and
+    /// grants nothing, so none of its arbiter state advances). Each
+    /// worklist is compacted in place as it is walked; elements are
+    /// re-activated by the arrival edges in the delivery helpers,
+    /// `try_inject_flit` and `traverse`.
+    ///
+    /// Taking a worklist out of `self` is safe because no phase inserts
+    /// into the set it iterates: credit delivery never sends credits,
+    /// flit delivery never sends flits, and the router stages never push
+    /// into another router's buffers (links have latency ≥ 1).
+    fn step_gated(&mut self, now: u64) {
+        let mut list = std::mem::take(&mut self.active_credit_links.list);
+        let mut kept = 0;
+        for i in 0..list.len() {
+            let li = list[i] as usize;
+            self.deliver_credits_link(li, now);
+            if self.links[li].credits_pending() > 0 {
+                list[kept] = list[i];
+                kept += 1;
+            } else {
+                self.active_credit_links.flags[li] = false;
             }
+        }
+        list.truncate(kept);
+        self.active_credit_links.list = list;
+
+        let mut list = std::mem::take(&mut self.active_flit_links.list);
+        let mut kept = 0;
+        for i in 0..list.len() {
+            let li = list[i] as usize;
+            self.deliver_flits_link(li, now);
+            if self.links[li].in_flight() > 0 {
+                list[kept] = list[i];
+                kept += 1;
+            } else {
+                self.active_flit_links.flags[li] = false;
+            }
+        }
+        list.truncate(kept);
+        self.active_flit_links.list = list;
+
+        let mut list = std::mem::take(&mut self.active_routers.list);
+        let mut kept = 0;
+        for i in 0..list.len() {
+            let r = list[i] as usize;
+            self.route_and_allocate(r);
+            self.switch(r, now);
+            if self.router_buffered[r] > 0 {
+                list[kept] = list[i];
+                kept += 1;
+            } else {
+                self.active_routers.flags[r] = false;
+            }
+        }
+        list.truncate(kept);
+        self.active_routers.list = list;
+    }
+
+    /// Delivers the credits arriving on link `li` at `now`.
+    fn deliver_credits_link(&mut self, li: usize, now: u64) {
+        let mut scratch = std::mem::take(&mut self.credit_scratch);
+        scratch.clear();
+        self.links[li].recv_credits(now, &mut scratch);
+        if !scratch.is_empty() {
+            self.credits_in_flight -= scratch.len() as u64;
             match self.links[li].credit_dst {
                 CreditDst::RouterOutput { router, port } => {
                     for &vc in &scratch {
@@ -365,19 +516,23 @@ impl Network {
         self.credit_scratch = scratch;
     }
 
-    fn deliver_flits(&mut self, now: u64) {
-        for li in 0..self.links.len() {
-            while let Some(flit) = self.links[li].recv_flit(now) {
-                let (r, p) = (self.links[li].to_router, self.links[li].to_port);
-                let buf = &mut self.routers[r].inputs[p].vcs[flit.vc as usize].buf;
-                debug_assert!(
-                    buf.len() < self.cfg.vc_buf_flits,
-                    "buffer overflow at router {r} port {p} vc {}",
-                    flit.vc
-                );
-                buf.push_back((now, flit));
-                self.stats.buffer_writes += 1;
-            }
+    /// Delivers the flits arriving on link `li` at `now`, activating the
+    /// fed router.
+    fn deliver_flits_link(&mut self, li: usize, now: u64) {
+        while let Some(flit) = self.links[li].recv_flit(now) {
+            let (r, p) = (self.links[li].to_router, self.links[li].to_port);
+            let buf = &mut self.routers[r].inputs[p].vcs[flit.vc as usize].buf;
+            debug_assert!(
+                buf.len() < self.cfg.vc_buf_flits,
+                "buffer overflow at router {r} port {p} vc {}",
+                flit.vc
+            );
+            buf.push_back((now, flit));
+            self.stats.buffer_writes += 1;
+            self.flits_in_flight -= 1;
+            self.router_buffered[r] += 1;
+            self.buffered_total += 1;
+            self.active_routers.insert(r);
         }
     }
 
@@ -613,6 +768,8 @@ impl Network {
             (enq, flit, feed, ov)
         };
         let (enq, flit, feed, ov) = depth_stats;
+        self.router_buffered[ri] -= 1;
+        self.buffered_total -= 1;
         self.stats.buffer_reads += 1;
         self.stats.xbar_traversals += 1;
         self.stats.router_flits[ri] += 1;
@@ -620,12 +777,16 @@ impl Network {
         if let Some(l) = feed {
             // Return a credit for the freed input-buffer slot.
             self.links[l].send_credit(now, iv as u8);
+            self.credits_in_flight += 1;
+            self.active_credit_links.insert(l);
         }
         match self.routers[ri].outputs[op].role {
             OutputRole::Link(l) => {
                 self.routers[ri].outputs[op].vcs[ov as usize].credits -= 1;
                 let kind = self.links[l].kind;
                 self.links[l].send_flit(now, flit);
+                self.flits_in_flight += 1;
+                self.active_flit_links.insert(l);
                 self.stats.count_link_flit(kind);
                 if self.trace.enabled() {
                     self.trace.record(TraceEvent {
@@ -639,6 +800,7 @@ impl Network {
             }
             OutputRole::Eject { .. } => {
                 self.eject[ri][op].push_back(flit);
+                self.eject_occupancy += 1;
                 self.stats.ejected_flits += 1;
                 if self.trace.enabled() {
                     self.trace.record(TraceEvent {
@@ -657,9 +819,78 @@ impl Network {
     /// `true` when no flit is buffered anywhere, in flight on a link, or
     /// waiting in an ejection queue.
     pub fn quiescent(&self) -> bool {
-        self.routers.iter().all(|r| r.buffered_flits() == 0)
-            && self.links.iter().all(|l| l.in_flight() == 0)
-            && self.eject.iter().flatten().all(|q| q.is_empty())
+        let q = self.buffered_total == 0 && self.flits_in_flight == 0 && self.eject_occupancy == 0;
+        debug_assert_eq!(
+            q,
+            self.routers.iter().all(|r| r.buffered_flits() == 0)
+                && self.links.iter().all(|l| l.in_flight() == 0)
+                && self.eject.iter().flatten().all(|v| v.is_empty()),
+            "idleness aggregates out of sync with network state"
+        );
+        q
+    }
+
+    /// `true` when a cycle of stepping could not change any network
+    /// state: quiescent *and* no credit is still in flight back upstream
+    /// (a late credit would update an output-VC counter or an injector).
+    /// O(1) — this is the per-cycle skip check of the system-level
+    /// quiescence fast-forward.
+    /// `true` when any flit sits in an eject queue — the one case a
+    /// `pop_ejected` call can succeed, so sink-drain loops can skip the
+    /// whole network otherwise. O(1).
+    pub fn has_ejected(&self) -> bool {
+        self.eject_occupancy > 0
+    }
+
+    /// `true` when the network holds no state that a step could
+    /// advance: no buffered flits, nothing in flight on any link, no
+    /// credits in flight, and empty eject queues. Stricter than
+    /// [`Network::quiescent`] (which ignores credit returns); an idle
+    /// network's `step` only advances the clock, which is what makes
+    /// [`Network::skip_idle`] sound. O(1).
+    pub fn idle(&self) -> bool {
+        self.buffered_total == 0
+            && self.flits_in_flight == 0
+            && self.credits_in_flight == 0
+            && self.eject_occupancy == 0
+    }
+
+    /// Fast-forwards an idle network by `steps` cycles by advancing the
+    /// clock alone. Stepping an idle network only increments the cycle
+    /// counter (every sweep phase is a no-op), so this is bit-identical
+    /// to calling [`Network::step`] `steps` times — provided `steps`
+    /// stays within [`Network::max_idle_skip`] so no audit boundary is
+    /// jumped over.
+    pub fn skip_idle(&mut self, steps: u64) {
+        debug_assert!(self.idle(), "skip_idle on a non-idle network");
+        debug_assert!(steps <= self.max_idle_skip(), "skip crosses an audit boundary");
+        self.cycle += steps;
+        self.stats.cycles = self.cycle;
+    }
+
+    /// Upper bound on [`Network::skip_idle`]: the skip must stop short
+    /// of the next conservation-sweep boundary and the next
+    /// watchdog-window expiry so that every audit action still happens
+    /// inside a real [`Network::step`] (skipped audit evaluations are
+    /// no-ops only while neither boundary is crossed — progress counters
+    /// are constant on an idle network). Unaudited networks are
+    /// unbounded.
+    pub fn max_idle_skip(&self) -> u64 {
+        let Some(a) = self.audit.as_deref() else {
+            return u64::MAX;
+        };
+        let t = self.cycle;
+        let interval = a.cfg.check_interval.max(1);
+        // Audit checks run after the cycle increment, i.e. at values
+        // t+1..=t+k for a skip of k; the largest safe k keeps both
+        // boundaries out of that range.
+        let next_sweep = (t / interval + 1) * interval;
+        let mut cap = next_sweep - 1 - t;
+        if a.cfg.watchdog_window > 0 {
+            let expiry = a.last_progress_cycle + a.cfg.watchdog_window;
+            cap = cap.min(expiry.saturating_sub(t + 1));
+        }
+        cap
     }
 
     /// Enables the invariant auditor. The per-class injection ledgers are
@@ -751,6 +982,8 @@ impl Network {
         for port in &mut self.routers[r].inputs {
             for vc in &mut port.vcs {
                 if vc.buf.pop_front().is_some() {
+                    self.router_buffered[r] -= 1;
+                    self.buffered_total -= 1;
                     return true;
                 }
             }
@@ -816,7 +1049,12 @@ impl Network {
 
     /// Total buffered flits (for saturation diagnostics).
     pub fn buffered_flits(&self) -> usize {
-        self.routers.iter().map(|r| r.buffered_flits()).sum()
+        debug_assert_eq!(
+            self.buffered_total,
+            self.routers.iter().map(|r| r.buffered_flits() as u64).sum::<u64>(),
+            "buffered_total out of sync"
+        );
+        self.buffered_total as usize
     }
 
     /// Number of ports on the router at `node` (for area accounting).

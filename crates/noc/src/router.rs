@@ -52,9 +52,11 @@ pub(crate) struct InputVc {
 }
 
 impl InputVc {
-    fn new() -> Self {
+    /// `depth` is the VC's buffer capacity in flits; the backing deque is
+    /// preallocated to it so steady-state stepping never reallocates.
+    fn new(depth: u32) -> Self {
         InputVc {
-            buf: VecDeque::new(),
+            buf: VecDeque::with_capacity(depth as usize),
             out_port: None,
             out_vc: None,
         }
@@ -109,7 +111,7 @@ impl Router {
     pub(crate) fn new(coord: equinox_phys::Coord, ports: usize, vcs: u8, depth: u32) -> Self {
         let inputs = (0..ports)
             .map(|_| InputPort {
-                vcs: (0..vcs).map(|_| InputVc::new()).collect(),
+                vcs: (0..vcs).map(|_| InputVc::new(depth)).collect(),
                 feed_link: None,
                 sa_ptr: 0,
             })
@@ -137,7 +139,7 @@ impl Router {
     pub(crate) fn add_port(&mut self, vcs: u8, depth: u32) -> usize {
         let idx = self.inputs.len();
         self.inputs.push(InputPort {
-            vcs: (0..vcs).map(|_| InputVc::new()).collect(),
+            vcs: (0..vcs).map(|_| InputVc::new(depth)).collect(),
             feed_link: None,
             sa_ptr: 0,
         });
@@ -223,7 +225,7 @@ mod tests {
 
     #[test]
     fn sa_ready_requires_allocation_and_flit() {
-        let mut vc = InputVc::new();
+        let mut vc = InputVc::new(5);
         assert!(!vc.sa_ready());
         let f = PacketDesc::new(0, Coord::new(0, 0), Coord::new(1, 1), MessageClass::Reply, 1)
             .flits(8)[0];

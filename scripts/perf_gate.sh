@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# CI perf regression gate: runs the `perf` binary at reduced scale and
+# enforces two bounds on the reported rates.
+#
+#   1. `single_cycles_per_sec` must reach at least PERF_GATE_MIN_PCT% of
+#      the checked-in BENCH_perf.json baseline. Baselines are
+#      machine-specific (see scripts/check.sh), so the default band is
+#      deliberately wide — it catches catastrophic hot-loop regressions
+#      (an accidental allocation in Network::step, quadratic bookkeeping),
+#      not noise or runner-speed differences. For a same-machine
+#      comparison with a tight band, use scripts/check.sh instead.
+#
+#   2. `low_load_cycles_per_sec` must be at least PERF_GATE_RATIO× the
+#      `single_cycles_per_sec` measured in the same run. The ratio cancels
+#      machine speed entirely: with activity-gated stepping working, the
+#      low-load load–latency point steps >10× faster than the saturated
+#      hot loop (measured ~18×), while the exhaustive sweep manages only
+#      ~3.5×. A broken, disabled, or regressed gate fails this bound on
+#      any hardware.
+#
+# Usage: scripts/perf_gate.sh
+# Env:   PERF_GATE_MIN_PCT (default 40), PERF_GATE_RATIO (default 6),
+#        PERF_GATE_SCALE (default 0.15)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+MIN_PCT="${PERF_GATE_MIN_PCT:-40}"
+RATIO="${PERF_GATE_RATIO:-6}"
+SCALE="${PERF_GATE_SCALE:-0.15}"
+
+if [ ! -x target/release/perf ]; then
+    echo "perf_gate: target/release/perf missing — run cargo build --release first" >&2
+    exit 1
+fi
+
+out=$(./target/release/perf --quick --scale "$SCALE" 2>/dev/null)
+echo "$out"
+
+single=$(echo "$out" | sed -n 's/.*"single_cycles_per_sec": \([0-9]*\).*/\1/p')
+low=$(echo "$out" | sed -n 's/.*"low_load_cycles_per_sec": \([0-9]*\).*/\1/p')
+base=$(sed -n 's/.*"single_cycles_per_sec": \([0-9]*\).*/\1/p' BENCH_perf.json)
+
+if [ -z "$single" ] || [ -z "$low" ] || [ -z "$base" ]; then
+    echo "perf_gate: failed to parse rates (single='$single' low='$low' base='$base')" >&2
+    exit 1
+fi
+
+min=$((base * MIN_PCT / 100))
+if [ "$single" -lt "$min" ]; then
+    echo "perf_gate: FAIL — single_cycles_per_sec $single < ${MIN_PCT}% of baseline $base ($min)" >&2
+    exit 1
+fi
+
+floor=$((single * RATIO))
+if [ "$low" -lt "$floor" ]; then
+    echo "perf_gate: FAIL — low_load_cycles_per_sec $low < ${RATIO}x single rate $single ($floor): activity gating regressed" >&2
+    exit 1
+fi
+
+echo "perf_gate: OK — single $single >= $min (${MIN_PCT}% of $base), low-load $low >= ${RATIO}x single ($floor)"
