@@ -1,63 +1,68 @@
 //! `designer` — run the EquiNox design pipeline and save the result.
 //!
 //! ```text
-//! designer [--n 8] [--cbs 8] [--iters 4000] [--seed 7] [--out design.txt] [--svg design.svg] [--threads N]
+//! designer [--n 8] [--cbs 8] [--iters 4000] [--seed 7] [--out design.txt]
+//!          [--svg design.svg] [--threads N]
 //! ```
 //!
-//! Searches the N-Queen placement + MCTS EIR selection for the requested
-//! mesh, prints the design summary, and optionally writes the stable text
-//! format (reload with `EquiNoxDesign::from_text`) and an SVG wiring
-//! diagram.
+//! Thin wrapper over the `designer` scenario of the unified `equinox`
+//! driver: searches the N-Queen placement + MCTS EIR selection for the
+//! requested mesh, prints the design summary, and optionally writes the
+//! stable text format (reload with `EquiNoxDesign::from_text`) from the
+//! artifact's `design_text` field and an SVG wiring diagram from its
+//! `svg` field.
 
-use equinox_core::svg::design_svg;
-use equinox_core::EquiNoxDesign;
-use equinox_phys::segment::count_crossings;
+use equinox_bench::scenarios::scenario;
+use equinox_config::{flag_help, parse_cli, resolve_process, CliError, Extras, Json};
 
-fn arg<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> T {
-    args.iter()
-        .position(|a| a == name)
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
+const EXTRAS: Extras<'static> = Extras {
+    value_flags: &[("--svg", "write an SVG wiring diagram to this path")],
+    bool_flags: &[],
+};
+
+fn usage() -> String {
+    format!("usage: designer [flags]\n\nflags:\n{}", flag_help(EXTRAS))
 }
 
-fn arg_opt(args: &[String], name: &str) -> Option<String> {
-    args.iter()
-        .position(|a| a == name)
-        .and_then(|i| args.get(i + 1))
-        .cloned()
+fn fail(message: &str) -> ! {
+    eprintln!("designer: {message}\n\n{}", usage());
+    std::process::exit(2);
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let n: u16 = arg(&args, "--n", 8);
-    let cbs: u16 = arg(&args, "--cbs", 8);
-    let iters: usize = arg(&args, "--iters", 4_000);
-    let seed: u64 = arg(&args, "--seed", 7);
-    if args.iter().any(|a| a == "--threads") {
-        equinox_exec::set_threads(arg(&args, "--threads", 0usize));
+    let parsed = match parse_cli(&args, EXTRAS) {
+        Ok(p) => p,
+        Err(CliError::Help) => {
+            println!("{}", usage());
+            return;
+        }
+        Err(e) => fail(&e.to_string()),
+    };
+    if !parsed.positionals.is_empty() {
+        fail(&format!("unexpected argument '{}'", parsed.positionals[0]));
     }
+    let spec = match resolve_process(parsed.spec_file.as_deref(), &parsed.sets) {
+        Ok(s) => s,
+        Err(e) => fail(&e.to_string()),
+    };
+    equinox_exec::set_threads(spec.threads);
 
-    eprintln!("searching: {n}x{n} mesh, {cbs} CBs, {iters} MCTS iterations, seed {seed}…");
-    let start = std::time::Instant::now();
-    let design = EquiNoxDesign::search(n, cbs, iters, seed);
-    eprintln!("search took {:.1?}", start.elapsed());
+    let designer = scenario("designer").expect("registered scenario");
+    let mut log = std::io::stdout();
+    let results = (designer.run)(&spec, &mut log);
 
-    println!("{}", design.render());
-    println!(
-        "links {} | crossings {} | RDL layers {} | ubumps {}",
-        design.num_links(),
-        count_crossings(&design.segments()),
-        design.rdl_layers(),
-        design.ubump_count(128)
-    );
-
-    if let Some(path) = arg_opt(&args, "--out") {
-        std::fs::write(&path, design.to_text()).expect("write design file");
+    if let Some(path) = &parsed.out {
+        let text = results
+            .get("design_text")
+            .and_then(Json::as_str)
+            .expect("design_text in results");
+        std::fs::write(path, text).expect("write design file");
         println!("wrote {path}");
     }
-    if let Some(path) = arg_opt(&args, "--svg") {
-        std::fs::write(&path, design_svg(&design)).expect("write svg");
+    if let Some(path) = parsed.extra("--svg") {
+        let svg = results.get("svg").and_then(Json::as_str).expect("svg in results");
+        std::fs::write(path, svg).expect("write svg");
         println!("wrote {path}");
     }
 }

@@ -4,12 +4,12 @@
 //! perf [--scale S] [--threads N] [--quick] [--audit] [--no-activity-gate]
 //! ```
 //!
-//! `--audit` enables the invariant auditor (`EQUINOX_AUDIT=1`) inside the
-//! timed runs — useful for measuring its overhead, never for baselines.
-//! `--no-activity-gate` (`EQUINOX_NO_ACTIVITY_GATE=1`) disables the
-//! activity-driven stepping, i.e. measures the exhaustive
-//! every-router-every-cycle sweep — useful for quantifying what the gate
-//! buys, never for baselines.
+//! Thin wrapper over the `perf` scenario of the unified `equinox`
+//! driver. `--audit` arms the invariant auditor inside the timed runs
+//! (by value through the resolved spec) — useful for measuring its
+//! overhead, never for baselines. `--no-activity-gate` times the
+//! exhaustive every-router-every-cycle sweep — useful for quantifying
+//! what the gate buys, never for baselines.
 //!
 //! Reports three rates as a single JSON line on stdout:
 //!
@@ -29,85 +29,48 @@
 //! the numbers measure the simulator, not the one-off MCTS. A committed
 //! baseline lives in `BENCH_perf.json`; `scripts/check.sh` compares
 //! `single_cycles_per_sec` against it with a tolerance band.
+//!
+//! For compatibility with the historical binary, the workload scale
+//! defaults to 0.3 here (the driver's spec default is 0.5); `--scale`,
+//! a spec file, or `EQUINOX_SCALE` still override.
 
-use equinox_bench::{design_for, run_matrix, run_one, timed_run, QUICK_BENCHES};
-use equinox_core::loadlat::{load_latency_curve, ReplySide};
-use equinox_core::SchemeKind;
-use equinox_placement::Placement;
-use std::time::Instant;
+use equinox_bench::scenarios::scenario;
+use equinox_config::spec::Layer;
+use equinox_config::{flag_help, parse_cli, resolve_process, CliError, Extras};
+
+fn usage() -> String {
+    format!("usage: perf [flags]\n\nflags:\n{}", flag_help(Extras::default()))
+}
+
+fn fail(message: &str) -> ! {
+    eprintln!("perf: {message}\n\n{}", usage());
+    std::process::exit(2);
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.iter().any(|a| a == "--audit") {
-        std::env::set_var("EQUINOX_AUDIT", "1");
+    let parsed = match parse_cli(&args, Extras::default()) {
+        Ok(p) => p,
+        Err(CliError::Help) => {
+            println!("{}", usage());
+            return;
+        }
+        Err(e) => fail(&e.to_string()),
+    };
+    if !parsed.positionals.is_empty() {
+        fail(&format!("unexpected argument '{}'", parsed.positionals[0]));
     }
-    if args.iter().any(|a| a == "--no-activity-gate") {
-        std::env::set_var("EQUINOX_NO_ACTIVITY_GATE", "1");
+    let mut spec = match resolve_process(parsed.spec_file.as_deref(), &parsed.sets) {
+        Ok(s) => s,
+        Err(e) => fail(&e.to_string()),
+    };
+    if spec.provenance_of("scale") == Some(Layer::Default) {
+        spec.scale = 0.3;
     }
-    let scale = args
-        .iter()
-        .position(|a| a == "--scale")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|s| s.parse::<f64>().ok())
-        .unwrap_or(0.3);
-    if let Some(t) = args
-        .iter()
-        .position(|a| a == "--threads")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|s| s.parse::<usize>().ok())
-    {
-        equinox_exec::set_threads(t);
-    }
-    let quick = args.iter().any(|a| a == "--quick");
-    let seeds: [u64; 2] = [42, 7];
+    equinox_exec::set_threads(spec.threads);
 
-    // Warm everything the timed regions would otherwise pay for once:
-    // the cached 8×8 EquiNox design and the allocator's steady state.
-    eprintln!("warming design cache + hot loop…");
-    let _ = design_for(8);
-    let _ = run_one(SchemeKind::SeparateBase, 8, "kmeans", scale, 1);
-
-    // Single-simulation cycle rate (sequential hot loop), saturated
-    // (kmeans is network-bound — the gate keeps nearly everything
-    // active, so this figure guards against gating overhead). Only the
-    // run loop is timed; `System::build` cost would otherwise dominate
-    // short runs and hide stepping regressions.
-    let reps = if quick { 1 } else { 3 };
-    let mut best_rate = 0f64;
-    for _ in 0..reps {
-        let (cycles, secs) = timed_run(SchemeKind::SeparateBase, 8, "kmeans", scale, 1);
-        best_rate = best_rate.max(cycles as f64 / secs);
-    }
-
-    // Low-load cycle rate: one load–latency point at a deeply
-    // sub-saturation offered rate. Almost every router is idle almost
-    // every cycle, so this measures what activity-gated stepping buys
-    // on the regions that dominate load–latency curves.
-    let placement = Placement::diamond(8, 8, 8);
-    let low_cycles = 50_000u64;
-    let _ = load_latency_curve(&placement, &ReplySide::Local, &[0.02], 5_000, 1);
-    let mut low_load_rate = 0f64;
-    for _ in 0..reps {
-        let t0 = Instant::now();
-        let pts = load_latency_curve(&placement, &ReplySide::Local, &[0.02], low_cycles, 1);
-        let rate = low_cycles as f64 / t0.elapsed().as_secs_f64();
-        assert!(pts[0].throughput > 0.0, "low-load run carried no traffic");
-        low_load_rate = low_load_rate.max(rate);
-    }
-
-    // Quick repro sweep (7 schemes × 6 benchmarks × 2 seeds) on the pool.
-    let t0 = Instant::now();
-    let rows = run_matrix(&SchemeKind::ALL, 8, &QUICK_BENCHES, scale, &seeds);
-    let sweep_wall_s = t0.elapsed().as_secs_f64();
-    let sims = rows.iter().map(|r| r.len()).sum::<usize>() * seeds.len();
-
-    println!(
-        "{{\"single_cycles_per_sec\": {:.0}, \"low_load_cycles_per_sec\": {:.0}, \"sweep_wall_s\": {:.3}, \"sweep_sims\": {}, \"threads\": {}, \"scale\": {}}}",
-        best_rate,
-        low_load_rate,
-        sweep_wall_s,
-        sims,
-        equinox_exec::thread_count(),
-        scale
-    );
+    let perf = scenario("perf").expect("registered scenario");
+    let mut log = std::io::stderr();
+    let results = (perf.run)(&spec, &mut log);
+    println!("{}", results.to_compact());
 }

@@ -1,611 +1,72 @@
 //! `repro` — regenerates every table and figure of the EquiNox paper.
 //!
 //! ```text
-//! repro <table1|fig4|fig5|fig7|fig9|fig10|fig11|fig12|ubumps|ablation|all>
-//!       [--full] [--scale S] [--audit] [--no-activity-gate]
+//! repro [table1|fig4|fig5|fig7|fig9|fig10|fig11|fig12|ubumps|ablation|all|…]
+//!       [--full] [--scale S] [--audit] [--no-activity-gate] [--threads N] …
 //! ```
 //!
-//! `fig9`/`fig10` default to the 6-benchmark quick subset; pass `--full`
-//! for all 29 benchmarks (a few minutes). `--scale` multiplies the per-PE
-//! instruction quota (default 0.5). The scheme × benchmark sweeps fan
-//! out across cores; `--threads N` (or `EQUINOX_THREADS=N`) pins the
-//! worker count — results are identical either way. `--audit` turns on
-//! the invariant auditor (sets `EQUINOX_AUDIT=1`, which worker threads
-//! inherit): every simulated system checks credit/flit conservation,
-//! escape-VC compliance and packet accounting, and panics on the first
-//! violation or deadlock instead of producing silently-wrong tables.
-//! `--no-activity-gate` (`EQUINOX_NO_ACTIVITY_GATE=1`) falls back to the
-//! exhaustive every-router-every-cycle sweep — an escape hatch for
-//! cross-checking the (bit-identical) activity-gated default.
+//! Thin wrapper over the unified `equinox` driver's scenario registry,
+//! kept for muscle memory: same scenarios, same flags (the shared spec
+//! field registry — see `equinox --help`), but the human-readable
+//! report goes to **stdout** like it always did, and no JSON artifact
+//! is emitted unless `--out PATH` asks for one.
+//!
+//! `fig9`/`fig10` default to the 6-benchmark quick subset; pass
+//! `--full` for all 29 benchmarks (a few minutes). `--audit` arms the
+//! invariant auditor in every simulated system — by value through the
+//! resolved spec, not via environment variables.
 
-use equinox_bench::{
-    all_bench_names, design_for, run_matrix, run_seeds, strong_design_8x8, QUICK_BENCHES,
-};
-use equinox_core::heatmap::placement_heatmap;
-use equinox_core::{EquiNoxDesign, RunMetrics, SchemeKind};
-use equinox_mcts::eval::{evaluate, EvalWeights};
-use equinox_mcts::problem::EirProblem;
-use equinox_mcts::tree::{search, MctsConfig};
-use equinox_mcts::{ga, sa};
-use equinox_phys::segment::count_crossings;
-use equinox_phys::{BumpModel, Coord};
-use equinox_placement::nqueen::{solutions, to_placement};
-use equinox_placement::select::best_nqueen_placement;
-use equinox_placement::{Placement, PlacementScorer};
+use equinox_bench::artifact::artifact;
+use equinox_bench::scenarios::{scenario, scenarios};
+use equinox_config::{flag_help, parse_cli, resolve_process, CliError, Extras};
 
-const SEEDS: [u64; 2] = [42, 7];
+fn usage() -> String {
+    let mut u = String::from("usage: repro [scenario] [flags]\n\nscenarios:\n");
+    for s in scenarios() {
+        u.push_str(&format!("  {:10} {}\n", s.name, s.about));
+    }
+    u.push_str("\nflags:\n");
+    u.push_str(&flag_help(Extras::default()));
+    u
+}
+
+fn fail(message: &str) -> ! {
+    eprintln!("repro: {message}\n\n{}", usage());
+    std::process::exit(2);
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.iter().any(|a| a == "--audit") {
-        // Before any worker-pool or simulation activity, so every thread
-        // inherits it (see `SystemConfig::new` / `audit_from_env`).
-        std::env::set_var("EQUINOX_AUDIT", "1");
-    }
-    if args.iter().any(|a| a == "--no-activity-gate") {
-        std::env::set_var("EQUINOX_NO_ACTIVITY_GATE", "1");
-    }
-    let cmd = args.first().map(String::as_str).unwrap_or("all");
-    let full = args.iter().any(|a| a == "--full");
-    let scale = args
-        .iter()
-        .position(|a| a == "--scale")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|s| s.parse::<f64>().ok())
-        .unwrap_or(0.5);
-    if let Some(t) = args
-        .iter()
-        .position(|a| a == "--threads")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|s| s.parse::<usize>().ok())
-    {
-        equinox_exec::set_threads(t);
-    }
-
-    match cmd {
-        "table1" => table1(),
-        "fig4" => fig4(),
-        "fig5" => fig5(),
-        "fig7" => fig7(),
-        "fig9" => fig9(full, scale),
-        "fig10" => fig10(scale),
-        "fig11" => fig11(),
-        "fig12" => fig12(scale),
-        "ubumps" => ubumps(),
-        "ablation" => ablation(scale),
-        "overfull" => overfull(scale),
-        "extensions" => extensions(scale),
-        "svg" => svg_artifacts(),
-        "all" => {
-            table1();
-            fig4();
-            fig5();
-            fig7();
-            fig9(full, scale);
-            fig10(scale);
-            fig11();
-            fig12(scale);
-            ubumps();
-            ablation(scale);
-            overfull(scale);
-            extensions(scale);
-            svg_artifacts();
+    let parsed = match parse_cli(&args, Extras::default()) {
+        Ok(p) => p,
+        Err(CliError::Help) => {
+            println!("{}", usage());
+            return;
         }
-        other => {
-            eprintln!("unknown command {other}");
-            std::process::exit(2);
-        }
-    }
-}
-
-fn header(title: &str) {
-    println!("\n=== {title} ===");
-}
-
-fn table1() {
-    header("Table 1: key simulation parameters");
-    for (k, v) in [
-        ("Network size", "8x8 (12x12, 16x16 for scalability)"),
-        ("Network routing", "Minimal adaptive (XY escape VC)"),
-        ("Virtual channels", "2/port, 1 pkt (5 flits)/VC"),
-        ("Allocator", "Separable input-first"),
-        ("PE frequency", "1126 MHz"),
-        ("L2 cache (LLC) per bank", "2 MB (modelled as hit probability)"),
-        ("# of LLC banks", "8"),
-        ("HBM bandwidth", "256 GB/s per stack"),
-        ("Memory controllers", "8, FR-FCFS"),
-        ("Link width", "128 bits"),
-    ] {
-        println!("  {k:26} {v}");
-    }
-}
-
-fn fig4() {
-    header("Figure 4: placement heat maps (avg cycles per router; variance)");
-    let placements: Vec<(&str, Placement)> = vec![
-        ("Top", Placement::top(8, 8, 8)),
-        ("Side", Placement::side(8, 8, 8)),
-        ("Diagonal", Placement::diagonal(8, 8, 8)),
-        ("Diamond", Placement::diamond(8, 8, 8)),
-        ("N-Queen", best_nqueen_placement(8, 8, usize::MAX, 0)),
-    ];
-    let heats = equinox_exec::par_map(placements, |_, (name, p)| {
-        (name, placement_heatmap(&p, 0.85, 8_000, 1))
-    });
-    let mut rows = Vec::new();
-    for (name, h) in heats {
-        rows.push((name, h.variance));
-        println!("-- {name} (variance {:.2}) --\n{}", h.variance, h.render());
-    }
-    println!("variance summary (paper: Top 16.4 >> Diamond 0.84 > N-Queen 0.54):");
-    for (name, v) in rows {
-        println!("  {name:9} {v:8.2}");
-    }
-}
-
-fn fig5() {
-    header("Figure 5: N-Queen scoring policy");
-    let sols = solutions(8);
-    println!("  8x8 N-Queen solutions: {} (paper: 92)", sols.len());
-    let scorer = PlacementScorer::new(8, 8);
-    let mut scores: Vec<u64> = sols
-        .iter()
-        .map(|s| scorer.penalty(&to_placement(8, s, None).cbs))
-        .collect();
-    scores.sort_unstable();
-    println!(
-        "  penalty scores: best {} / median {} / worst {}",
-        scores[0],
-        scores[scores.len() / 2],
-        scores[scores.len() - 1]
-    );
-    let best = best_nqueen_placement(8, 8, usize::MAX, 0);
-    println!("  chosen placement (penalty {}):", scorer.penalty(&best.cbs));
-    print!("{best}");
-}
-
-fn render_design(d: &EquiNoxDesign) {
-    let n = d.placement.width;
-    for y in 0..n {
-        for x in 0..n {
-            let t = Coord::new(x, y);
-            if let Some(ci) = d.placement.cb_index(t) {
-                print!("C{ci} ");
-            } else if let Some(ci) = d
-                .selection
-                .groups
-                .iter()
-                .position(|g| g.contains(&t))
-            {
-                print!("e{ci} ");
-            } else {
-                print!(" . ");
-            }
-        }
-        println!();
-    }
-}
-
-fn fig7() {
-    header("Figure 7: MCTS-selected EIR design for 8x8");
-    let d = strong_design_8x8();
-    render_design(d);
-    let problem = EirProblem::new(d.placement.clone());
-    let ev = evaluate(&problem, &d.selection, &EvalWeights::default());
-    let segs = d.segments();
-    println!(
-        "  links {} | crossings {} (paper: 0) | RDL layers {} (paper: 1) | total wire {:.1} mm",
-        d.num_links(),
-        count_crossings(&segs),
-        d.rdl_layers(),
-        problem.wire.total_length_mm(&segs),
-    );
-    let hops: Vec<u32> = segs.iter().map(|s| s.hop_length()).collect();
-    println!(
-        "  EIR hop distances: min {} max {} (paper: all exactly 2)",
-        hops.iter().min().unwrap(),
-        hops.iter().max().unwrap()
-    );
-    println!(
-        "  eval: load {:.3} | hops {:.2} ({:.0}% of no-EIR) | cost {:.3}",
-        ev.max_load_norm,
-        ev.avg_hops,
-        ev.avg_hops_norm * 100.0,
-        ev.cost
-    );
-    // Fraction of the design space assessed (paper: 0.047%).
-    let space: f64 = (0..8)
-        .map(|i| {
-            let c = problem.candidates(i).len() as f64;
-            // ~sum over group sizes of C(c, k) with octant limits ~ c^4/24
-            (c.powi(4) / 24.0).max(1.0)
-        })
-        .product();
-    println!("  solution space ≈ {space:.2e} combinations (paper: 1.7e10 under its constraints)");
-}
-
-fn print_table(title: &str, benches: &[&str], all_runs: &[Vec<RunMetrics>], f: impl Fn(&RunMetrics) -> f64) {
-    header(title);
-    print!("{:18}", "benchmark");
-    for s in SchemeKind::ALL {
-        print!("{:>18}", s.name());
-    }
-    println!();
-    let mut per_scheme: Vec<Vec<f64>> = vec![Vec::new(); 7];
-    for (bench, runs) in benches.iter().zip(all_runs) {
-        let base = f(&runs[0]);
-        print!("{bench:18}");
-        for (i, m) in runs.iter().enumerate() {
-            let v = f(m) / base;
-            per_scheme[i].push(v);
-            print!("{:>18.3}", v);
-        }
-        println!();
-    }
-    print!("{:18}", "geomean");
-    for vals in &per_scheme {
-        print!("{:>18.3}", equinox_core::metrics::geomean(vals));
-    }
-    println!("  (normalized to SingleBase)");
-}
-
-fn fig9(full: bool, scale: f64) {
-    let benches: Vec<&str> = if full {
-        all_bench_names()
-    } else {
-        QUICK_BENCHES.to_vec()
+        Err(e) => fail(&e.to_string()),
     };
-    // Simulate once (each scheme × benchmark cell in parallel); derive
-    // all three tables from the same runs.
-    let all_runs: Vec<Vec<RunMetrics>> = run_matrix(&SchemeKind::ALL, 8, &benches, scale, &SEEDS);
-    print_table(
-        "Figure 9(a): normalized execution time (paper geomeans: EquiNox 0.523, CMesh 0.621)",
-        &benches,
-        &all_runs,
-        |m| m.exec_ns,
-    );
-    print_table(
-        "Figure 9(b): normalized NoC energy (paper: EquiNox 0.850 of SingleBase)",
-        &benches,
-        &all_runs,
-        |m| m.energy_j(),
-    );
-    print_table(
-        "Figure 9(c): normalized EDP (paper: EquiNox 0.450 of SingleBase)",
-        &benches,
-        &all_runs,
-        |m| m.edp,
-    );
-}
+    let name = match parsed.positionals.as_slice() {
+        [] => "all",
+        [one] => one.as_str(),
+        [_, extra, ..] => fail(&format!("unexpected argument '{extra}'")),
+    };
+    let Some(sc) = scenario(name) else {
+        fail(&format!("unknown command '{name}'"));
+    };
+    let spec = match resolve_process(parsed.spec_file.as_deref(), &parsed.sets) {
+        Ok(s) => s,
+        Err(e) => fail(&e.to_string()),
+    };
+    equinox_exec::set_threads(spec.threads);
 
-fn fig10(scale: f64) {
-    header("Figure 10: packet latency split, ns (geomean over quick subset)");
-    println!(
-        "{:18}{:>10}{:>10}{:>10}{:>10}{:>10}",
-        "scheme", "req_queue", "req_net", "rep_queue", "rep_net", "total"
-    );
-    let runs = run_matrix(&SchemeKind::ALL, 8, &QUICK_BENCHES, scale, &SEEDS);
-    for (si, scheme) in SchemeKind::ALL.into_iter().enumerate() {
-        let mut qs = [Vec::new(), Vec::new(), Vec::new(), Vec::new()];
-        for row in &runs {
-            let m = &row[si];
-            qs[0].push(m.latency.req_queue_ns.max(0.01));
-            qs[1].push(m.latency.req_net_ns.max(0.01));
-            qs[2].push(m.latency.rep_queue_ns.max(0.01));
-            qs[3].push(m.latency.rep_net_ns.max(0.01));
-        }
-        let g: Vec<f64> = qs
-            .iter()
-            .map(|v| equinox_core::metrics::geomean(v))
-            .collect();
-        println!(
-            "{:18}{:>10.1}{:>10.1}{:>10.1}{:>10.1}{:>10.1}",
-            scheme.name(),
-            g[0],
-            g[1],
-            g[2],
-            g[3],
-            g.iter().sum::<f64>()
-        );
-    }
-    println!("(paper: request latency >> reply latency — reply-injection backpressure)");
-}
-
-fn fig11() {
-    header("Figure 11: NoC area, mm^2 (relative; paper: EquiNox +4.6% vs SeparateBase)");
-    let mut areas = Vec::new();
-    for scheme in SchemeKind::ALL {
-        let m = equinox_bench::run_one(scheme, 8, "gaussian", 0.02, 1);
-        areas.push((scheme, m.area_mm2));
-    }
-    let single = areas[0].1;
-    let separate = areas[3].1;
-    for (s, a) in &areas {
-        println!(
-            "  {:18} {a:8.2} mm^2   ({:.2}x SingleBase, {:+.1}% vs SeparateBase)",
-            s.name(),
-            a / single,
-            (a / separate - 1.0) * 100.0
-        );
+    let mut log = std::io::stdout();
+    let results = (sc.run)(&spec, &mut log);
+    if let Some(path) = &parsed.out {
+        let text = artifact(sc.name, &spec, results).pretty();
+        std::fs::write(path, &text).unwrap_or_else(|e| {
+            eprintln!("repro: cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("wrote {path}");
     }
 }
-
-fn fig12(scale: f64) {
-    header("Figure 12: scalability — EquiNox IPC vs SeparateBase (paper: 1.23x/1.31x/1.30x)");
-    let sizes = [8u16, 12, 16];
-    let jobs: Vec<(u16, SchemeKind)> = sizes
-        .iter()
-        .flat_map(|&n| [(n, SchemeKind::SeparateBase), (n, SchemeKind::EquiNox)])
-        .collect();
-    let runs = equinox_exec::par_map(jobs, |_, (n, scheme)| {
-        run_seeds(scheme, n, "kmeans", scale, &SEEDS)
-    });
-    for (i, &n) in sizes.iter().enumerate() {
-        let (s, e) = (&runs[2 * i], &runs[2 * i + 1]);
-        println!(
-            "  {n:2}x{n:<2}  SeparateBase IPC {:6.2}  EquiNox IPC {:6.2}  speedup {:.2}x",
-            s.ipc,
-            e.ipc,
-            e.ipc / s.ipc
-        );
-    }
-}
-
-fn ubumps() {
-    header("Section 6.6: ubump accounting");
-    let m = BumpModel::default();
-    let cmesh = m.bump_count(2 * 64, 256, 1);
-    let d = strong_design_8x8();
-    let equinox = d.ubump_count(128);
-    println!(
-        "  Interposer-CMesh: 128 uni links x 256b x 1 bump  = {cmesh} ubumps ({:.2} mm^2)",
-        m.bump_area_mm2(cmesh)
-    );
-    println!(
-        "  EquiNox: {} uni links x 128b x 2 bumps           = {equinox} ubumps ({:.2} mm^2)",
-        d.num_links(),
-        m.bump_area_mm2(equinox)
-    );
-    println!(
-        "  saving: {:.2}% (paper: 81.25% with 24 links)",
-        equinox_phys::bumps::saving_fraction(equinox as f64, cmesh as f64) * 100.0
-    );
-}
-
-fn ablation(scale: f64) {
-    header("Ablation A: search method quality (same evaluation function)");
-    let placement = strong_design_8x8().placement.clone();
-    let problem = EirProblem::new(placement.clone());
-    let w = EvalWeights::default();
-    let mcts = search(
-        &problem,
-        &MctsConfig {
-            iterations: 2_000,
-            seed: 7,
-            ..Default::default()
-        },
-    );
-    let ga_r = ga::search(
-        &problem,
-        &ga::GaConfig {
-            population: 32,
-            generations: 80,
-            seed: 7,
-            ..Default::default()
-        },
-    );
-    let sa_r = sa::search(
-        &problem,
-        &sa::SaConfig {
-            steps: 2_600,
-            seed: 7,
-            ..Default::default()
-        },
-    );
-    for (name, r) in [("MCTS", &mcts), ("GA", &ga_r), ("SA", &sa_r)] {
-        println!(
-            "  {name:5} cost {:8.4}  crossings {:2}  links {:2}  evaluations {}",
-            r.eval.cost,
-            r.eval.crossings,
-            r.selection.total_eirs(),
-            r.evaluations
-        );
-    }
-
-    header("Ablation B: EIR hop budget (paper: 2 hops suffice)");
-    for max_hops in [2u32, 3, 4] {
-        let mut p = EirProblem::new(placement.clone());
-        p.max_hops = max_hops;
-        let r = search(
-            &p,
-            &MctsConfig {
-                iterations: 2_000,
-                seed: 7,
-                ..Default::default()
-            },
-        );
-        let d = EquiNoxDesign {
-            placement: placement.clone(),
-            selection: r.selection,
-        };
-        let m = run_with_design(&d, "kmeans", scale);
-        println!(
-            "  max_hops {max_hops}: cost {:.3} crossings {} -> exec {} cycles",
-            r.eval.cost, r.eval.crossings, m.cycles
-        );
-    }
-
-    header("Ablation C: EIRs per group (paper balances number vs. capability)");
-    for k in [1usize, 2, 4, 6] {
-        let mut p = EirProblem::new(placement.clone());
-        p.group_size = k;
-        let r = search(
-            &p,
-            &MctsConfig {
-                iterations: 1_500,
-                seed: 7,
-                ..Default::default()
-            },
-        );
-        let d = EquiNoxDesign {
-            placement: placement.clone(),
-            selection: r.selection,
-        };
-        let m = run_with_design(&d, "kmeans", scale);
-        println!(
-            "  group_size {k}: links {:2} load {:.3} -> exec {} cycles",
-            d.num_links(),
-            r.eval.max_load_norm,
-            m.cycles
-        );
-    }
-
-    header("Ablation D: CB placement under EIRs (N-Queen vs Diamond)");
-    for (name, plc) in [
-        ("N-Queen", placement.clone()),
-        ("Diamond", Placement::diamond(8, 8, 8)),
-    ] {
-        let p = EirProblem::new(plc.clone());
-        let r = search(
-            &p,
-            &MctsConfig {
-                iterations: 2_000,
-                seed: 7,
-                ..Default::default()
-            },
-        );
-        let d = EquiNoxDesign {
-            placement: plc,
-            selection: r.selection,
-        };
-        let m = run_with_design(&d, "kmeans", scale);
-        println!(
-            "  {name:8} crossings {:2} RDL layers {} -> exec {} cycles (penalty {})",
-            r.eval.crossings,
-            d.rdl_layers(),
-            m.cycles,
-            PlacementScorer::new(8, 8).penalty(&d.placement.cbs)
-        );
-    }
-    let _ = w;
-}
-
-/// §6.8: more CBs than rows — knight-move placement + EIRs.
-fn overfull(scale: f64) {
-    header("Section 6.8: 12 cache banks on an 8x8 mesh (knight-move placement)");
-    let d = EquiNoxDesign::search_k(8, 12, 1_500, 7, 1);
-    println!("{}", d.render());
-    println!(
-        "  attacking CB pairs {} | links {} | crossings {} | RDL layers {}",
-        equinox_placement::knight::attacking_pairs(&d.placement),
-        d.num_links(),
-        count_crossings(&d.segments()),
-        d.rdl_layers()
-    );
-    use equinox_core::{System, SystemConfig};
-    use equinox_traffic::Workload;
-    let profile = equinox_traffic::profile::benchmark("kmeans").expect("known");
-    for scheme in [SchemeKind::SeparateBase, SchemeKind::EquiNox] {
-        let mut cfg = SystemConfig::new(scheme, 8, Workload::new(profile, scale, 42));
-        cfg.n_cbs = 12;
-        if scheme == SchemeKind::EquiNox {
-            cfg.design = Some(d.clone());
-        } else {
-            cfg.placement_override = Some(d.placement.clone());
-        }
-        let m = System::build(cfg).run();
-        println!(
-            "  {:14} {:>7} cycles | EDP {:.2e}",
-            scheme.name(),
-            m.cycles,
-            m.edp
-        );
-    }
-}
-
-/// Extensions: reply compression (§7 \[47\], orthogonal) and router
-/// pipeline depth sensitivity.
-fn extensions(scale: f64) {
-    use equinox_core::{System, SystemConfig};
-    use equinox_traffic::Workload;
-    let profile = equinox_traffic::profile::benchmark("kmeans").expect("known");
-    let d = strong_design_8x8();
-
-    header("Extension: reply compression is complementary to EquiNox (§7)");
-    for (scheme, comp) in [
-        (SchemeKind::SeparateBase, 0.0),
-        (SchemeKind::SeparateBase, 0.6),
-        (SchemeKind::EquiNox, 0.0),
-        (SchemeKind::EquiNox, 0.6),
-    ] {
-        let mut cfg = SystemConfig::new(scheme, 8, Workload::new(profile, scale, 42));
-        cfg.design = Some(d.clone());
-        cfg.reply_compression = comp;
-        let m = System::build(cfg).run();
-        println!(
-            "  {:14} compression {:.0}% -> {:>7} cycles, EDP {:.2e}",
-            scheme.name(),
-            comp * 100.0,
-            m.cycles,
-            m.edp
-        );
-    }
-
-    header("Extension: router pipeline depth sensitivity");
-    for extra in [0u32, 1, 2] {
-        let mut a = SystemConfig::new(SchemeKind::SeparateBase, 8, Workload::new(profile, scale, 42));
-        a.pipeline_extra = extra;
-        let base = System::build(a).run();
-        let mut b = SystemConfig::new(SchemeKind::EquiNox, 8, Workload::new(profile, scale, 42));
-        b.design = Some(d.clone());
-        b.pipeline_extra = extra;
-        let eq = System::build(b).run();
-        println!(
-            "  +{extra} stages: SeparateBase {:>7} cycles | EquiNox {:>7} cycles | speedup {:.2}x",
-            base.cycles,
-            eq.cycles,
-            base.cycles as f64 / eq.cycles as f64
-        );
-    }
-}
-
-/// Writes the SVG artifacts (Figure 7 wiring diagram, Figure 4 heat maps)
-/// into docs/.
-fn svg_artifacts() {
-    use equinox_core::svg::{design_svg, heatmap_svg};
-    header("SVG artifacts -> docs/");
-    std::fs::create_dir_all("docs").expect("create docs dir");
-    let d = strong_design_8x8();
-    std::fs::write("docs/fig7_design.svg", design_svg(d)).expect("write fig7 svg");
-    println!("  docs/fig7_design.svg");
-    for (name, p) in [
-        ("top", Placement::top(8, 8, 8)),
-        ("diamond", Placement::diamond(8, 8, 8)),
-        ("nqueen", best_nqueen_placement(8, 8, usize::MAX, 0)),
-    ] {
-        let h = placement_heatmap(&p, 0.85, 8_000, 1);
-        let path = format!("docs/fig4_{name}.svg");
-        std::fs::write(&path, heatmap_svg(&h, &p.cbs)).expect("write heat svg");
-        println!("  {path} (variance {:.2})", h.variance);
-    }
-}
-
-fn run_with_design(d: &EquiNoxDesign, bench: &str, scale: f64) -> RunMetrics {
-    use equinox_core::{System, SystemConfig};
-    use equinox_traffic::Workload;
-    let profile = equinox_traffic::profile::benchmark(bench).expect("known benchmark");
-    let mut best: Option<RunMetrics> = None;
-    for &seed in &SEEDS {
-        let mut cfg = SystemConfig::new(SchemeKind::EquiNox, d.placement.width, Workload::new(profile, scale, seed));
-        cfg.design = Some(d.clone());
-        let m = System::build(cfg).run();
-        if best.as_ref().is_none_or(|b| m.cycles < b.cycles) {
-            best = Some(m);
-        }
-    }
-    best.expect("ran at least one seed")
-}
-
-// design_for is used by fig12 indirectly through run_seeds.
-#[allow(unused_imports)]
-use design_for as _design_for_linked;

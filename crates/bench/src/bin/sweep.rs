@@ -5,66 +5,85 @@
 //!       [--no-activity-gate]
 //! ```
 //!
-//! Emits `offered,baseline_latency,baseline_throughput,equinox_latency,
-//! equinox_throughput` rows, ready for plotting. The 20 rate points of
-//! each curve run in parallel on the worker pool; `--threads` (or
-//! `EQUINOX_THREADS`) pins the worker count without changing the output.
-//! `--audit` sets `EQUINOX_AUDIT=1` so every measured network runs with
-//! the invariant auditor enabled (panics on the first violation).
-//! `--no-activity-gate` sets `EQUINOX_NO_ACTIVITY_GATE=1` to fall back
-//! to exhaustive every-router-every-cycle stepping (bit-identical,
-//! slower — an escape hatch and cross-check).
+//! Thin wrapper over the `loadlat` scenario of the unified `equinox`
+//! driver: it resolves the same layered spec (defaults → `--spec` file →
+//! `EQUINOX_*` env → flags), runs the scenario, and renders the JSON
+//! results as `offered,baseline_latency,baseline_throughput,
+//! equinox_latency,equinox_throughput` rows, ready for plotting. The 20
+//! rate points of each curve run in parallel on the worker pool;
+//! auditing and activity gating ride into the workers by value.
+//!
+//! For compatibility with the historical binary, the design search
+//! defaults to 1500 MCTS iterations here (the driver's `loadlat`
+//! default is the spec's 4000); `--iters` still overrides.
 
-use equinox_core::loadlat::{load_latency_curve, ReplySide};
-use equinox_core::EquiNoxDesign;
+use equinox_bench::scenarios::scenario;
+use equinox_config::spec::Layer;
+use equinox_config::{flag_help, parse_cli, resolve_process, CliError, Extras, Json};
+
+fn usage() -> String {
+    format!("usage: sweep [flags]\n\nflags:\n{}", flag_help(Extras::default()))
+}
+
+fn fail(message: &str) -> ! {
+    eprintln!("sweep: {message}\n\n{}", usage());
+    std::process::exit(2);
+}
+
+fn col(points: &Json, i: usize, key: &str) -> f64 {
+    points
+        .as_arr()
+        .and_then(|a| a.get(i))
+        .and_then(|p| p.get(key))
+        .and_then(Json::as_f64)
+        .expect("well-formed load point")
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.iter().any(|a| a == "--audit") {
-        std::env::set_var("EQUINOX_AUDIT", "1");
-    }
-    if args.iter().any(|a| a == "--no-activity-gate") {
-        std::env::set_var("EQUINOX_NO_ACTIVITY_GATE", "1");
-    }
-    let get = |name: &str, default: u64| -> u64 {
-        args.iter()
-            .position(|a| a == name)
-            .and_then(|i| args.get(i + 1))
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(default)
+    let parsed = match parse_cli(&args, Extras::default()) {
+        Ok(p) => p,
+        Err(CliError::Help) => {
+            println!("{}", usage());
+            return;
+        }
+        Err(e) => fail(&e.to_string()),
     };
-    let n = get("--n", 8) as u16;
-    let cycles = get("--cycles", 6_000);
-    if args.iter().any(|a| a == "--threads") {
-        equinox_exec::set_threads(get("--threads", 0) as usize);
+    if !parsed.positionals.is_empty() {
+        fail(&format!("unexpected argument '{}'", parsed.positionals[0]));
     }
-    let out = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1))
-        .cloned();
+    let mut spec = match resolve_process(parsed.spec_file.as_deref(), &parsed.sets) {
+        Ok(s) => s,
+        Err(e) => fail(&e.to_string()),
+    };
+    if spec.provenance_of("iters") == Some(Layer::Default) {
+        spec.iters = 1_500;
+    }
+    equinox_exec::set_threads(spec.threads);
 
-    let design = EquiNoxDesign::search(n, 8, 1_500, 7);
-    let rates: Vec<f64> = (1..=20).map(|i| i as f64 / 20.0).collect();
-    let base = load_latency_curve(&design.placement, &ReplySide::Local, &rates, cycles, 1);
-    let eq = load_latency_curve(
-        &design.placement,
-        &ReplySide::Equinox(design.clone()),
-        &rates,
-        cycles,
-        1,
+    let loadlat = scenario("loadlat").expect("registered scenario");
+    let mut log = std::io::stderr();
+    let results = (loadlat.run)(&spec, &mut log);
+
+    let base = results.get("baseline").expect("baseline curve");
+    let eq = results.get("equinox").expect("equinox curve");
+    let rows = base.as_arr().map_or(0, <[Json]>::len);
+    let mut csv = String::from(
+        "offered,baseline_latency,baseline_throughput,equinox_latency,equinox_throughput\n",
     );
-    let mut csv =
-        String::from("offered,baseline_latency,baseline_throughput,equinox_latency,equinox_throughput\n");
-    for (b, e) in base.iter().zip(&eq) {
+    for i in 0..rows {
         csv.push_str(&format!(
             "{:.2},{:.2},{:.3},{:.2},{:.3}\n",
-            b.offered, b.latency, b.throughput, e.latency, e.throughput
+            col(base, i, "offered"),
+            col(base, i, "latency"),
+            col(base, i, "throughput"),
+            col(eq, i, "latency"),
+            col(eq, i, "throughput"),
         ));
     }
-    match out {
+    match &parsed.out {
         Some(path) => {
-            std::fs::write(&path, &csv).expect("write csv");
+            std::fs::write(path, &csv).expect("write csv");
             eprintln!("wrote {path}");
         }
         None => print!("{csv}"),

@@ -22,9 +22,13 @@
 //! | `ubumps` | §6.6 µbump accounting |
 //! | `ablation` | §4 design-choice studies (search method, hop budget, group size, placement) |
 
+use equinox_config::ExperimentSpec;
 use equinox_core::{EquiNoxDesign, RunMetrics, SchemeKind, System, SystemConfig};
 use equinox_traffic::{profile::all_benchmarks, Workload};
 use std::sync::OnceLock;
+
+pub mod artifact;
+pub mod scenarios;
 
 /// Iterations used for the "strong" (publication-quality) design search.
 pub const STRONG_ITERS: usize = 4_000;
@@ -46,29 +50,51 @@ pub fn design_for(n: u16) -> EquiNoxDesign {
     }
 }
 
-/// One full-system run of `scheme` on benchmark `bench` at the given
-/// scale and seed (mesh `n × n`).
-pub fn run_one(scheme: SchemeKind, n: u16, bench: &str, scale: f64, seed: u64) -> RunMetrics {
+/// One full-system run of `scheme` on benchmark `bench` under the
+/// resolved spec (mesh `n × n`, workload scale and capacities from the
+/// spec; `seed` passed separately because seed-averaging runners sweep
+/// it).
+pub fn run_one_spec(
+    scheme: SchemeKind,
+    n: u16,
+    bench: &str,
+    seed: u64,
+    spec: &ExperimentSpec,
+) -> RunMetrics {
     let profile = equinox_traffic::profile::benchmark(bench)
         .unwrap_or_else(|| panic!("unknown benchmark {bench}"));
-    let workload = Workload::new(profile, scale, seed);
-    let mut cfg = SystemConfig::new(scheme, n, workload);
+    let workload = Workload::new(profile, spec.scale, seed);
+    let mut cfg = SystemConfig::from_spec(scheme, n, workload, spec);
     if scheme == SchemeKind::EquiNox {
         cfg.design = Some(design_for(n));
     }
     System::build(cfg).run()
 }
 
-/// Like [`run_one`], but times only the simulation loop: the system is
-/// built (and the EquiNox design resolved) outside the timer, so the
-/// returned `(cycles, seconds)` measure stepping cost alone. Short
-/// runs make `run_one`-based rates build-dominated; perf figures use
-/// this instead.
-pub fn timed_run(scheme: SchemeKind, n: u16, bench: &str, scale: f64, seed: u64) -> (u64, f64) {
+/// One full-system run of `scheme` on benchmark `bench` at the given
+/// scale and seed (mesh `n × n`), with every other knob at its default.
+pub fn run_one(scheme: SchemeKind, n: u16, bench: &str, scale: f64, seed: u64) -> RunMetrics {
+    let mut spec = ExperimentSpec::default();
+    spec.scale = scale;
+    run_one_spec(scheme, n, bench, seed, &spec)
+}
+
+/// Like [`run_one_spec`], but times only the simulation loop: the
+/// system is built (and the EquiNox design resolved) outside the timer,
+/// so the returned `(cycles, seconds)` measure stepping cost alone.
+/// Short runs make `run_one`-based rates build-dominated; perf figures
+/// use this instead.
+pub fn timed_run_spec(
+    scheme: SchemeKind,
+    n: u16,
+    bench: &str,
+    seed: u64,
+    spec: &ExperimentSpec,
+) -> (u64, f64) {
     let profile = equinox_traffic::profile::benchmark(bench)
         .unwrap_or_else(|| panic!("unknown benchmark {bench}"));
-    let workload = Workload::new(profile, scale, seed);
-    let mut cfg = SystemConfig::new(scheme, n, workload);
+    let workload = Workload::new(profile, spec.scale, seed);
+    let mut cfg = SystemConfig::from_spec(scheme, n, workload, spec);
     if scheme == SchemeKind::EquiNox {
         cfg.design = Some(design_for(n));
     }
@@ -78,14 +104,23 @@ pub fn timed_run(scheme: SchemeKind, n: u16, bench: &str, scale: f64, seed: u64)
     (m.cycles, t0.elapsed().as_secs_f64())
 }
 
-/// Runs `scheme` over several seeds and returns the metrics of the
-/// median-cycles run rescaled to the seed-geomean cycle count (pinning
-/// dynamics make single runs noisy; the paper averages full benchmarks).
-pub fn run_seeds(scheme: SchemeKind, n: u16, bench: &str, scale: f64, seeds: &[u64]) -> RunMetrics {
-    assert!(!seeds.is_empty(), "need at least one seed");
-    let mut runs: Vec<RunMetrics> = seeds
+/// [`timed_run_spec`] with defaults for everything but the scale.
+pub fn timed_run(scheme: SchemeKind, n: u16, bench: &str, scale: f64, seed: u64) -> (u64, f64) {
+    let mut spec = ExperimentSpec::default();
+    spec.scale = scale;
+    timed_run_spec(scheme, n, bench, seed, &spec)
+}
+
+/// Runs `scheme` over the spec's seed list and returns the metrics of
+/// the median-cycles run rescaled to the seed-geomean cycle count
+/// (pinning dynamics make single runs noisy; the paper averages full
+/// benchmarks).
+pub fn run_seeds_spec(scheme: SchemeKind, n: u16, bench: &str, spec: &ExperimentSpec) -> RunMetrics {
+    assert!(!spec.seeds.is_empty(), "need at least one seed");
+    let mut runs: Vec<RunMetrics> = spec
+        .seeds
         .iter()
-        .map(|&s| run_one(scheme, n, bench, scale, s))
+        .map(|&s| run_one_spec(scheme, n, bench, s, spec))
         .collect();
     runs.sort_by_key(|m| m.cycles);
     let geo_cycles = equinox_core::metrics::geomean(
@@ -100,6 +135,14 @@ pub fn run_seeds(scheme: SchemeKind, n: u16, bench: &str, scale: f64, seeds: &[u
     rep
 }
 
+/// [`run_seeds_spec`] with an explicit scale and seed list.
+pub fn run_seeds(scheme: SchemeKind, n: u16, bench: &str, scale: f64, seeds: &[u64]) -> RunMetrics {
+    let mut spec = ExperimentSpec::default();
+    spec.scale = scale;
+    spec.seeds = seeds.to_vec();
+    run_seeds_spec(scheme, n, bench, &spec)
+}
+
 /// Runs the full `benches × schemes` sweep matrix on the
 /// [`equinox_exec`] worker pool and returns it bench-major
 /// (`result[bi][si]` = benchmark `bi` under scheme `si`).
@@ -108,12 +151,11 @@ pub fn run_seeds(scheme: SchemeKind, n: u16, bench: &str, scale: f64, seeds: &[u
 /// [`equinox_exec::par_map`] returns results in input order, so the
 /// output is identical for any worker count — the determinism
 /// regression tests in `tests/determinism.rs` pin this down.
-pub fn run_matrix(
+pub fn run_matrix_spec(
     schemes: &[SchemeKind],
     n: u16,
     benches: &[&str],
-    scale: f64,
-    seeds: &[u64],
+    spec: &ExperimentSpec,
 ) -> Vec<Vec<RunMetrics>> {
     // The EquiNox design is searched once behind a OnceLock; force it
     // before the fan-out so one worker doesn't hold the rest hostage.
@@ -124,7 +166,7 @@ pub fn run_matrix(
         .flat_map(|bi| (0..schemes.len()).map(move |si| (bi, si)))
         .collect();
     let cells = equinox_exec::par_map(jobs, |_, (bi, si)| {
-        run_seeds(schemes[si], n, benches[bi], scale, seeds)
+        run_seeds_spec(schemes[si], n, benches[bi], spec)
     });
     let mut rows: Vec<Vec<RunMetrics>> = Vec::with_capacity(benches.len());
     let mut it = cells.into_iter();
@@ -132,6 +174,30 @@ pub fn run_matrix(
         rows.push(it.by_ref().take(schemes.len()).collect());
     }
     rows
+}
+
+/// [`run_matrix_spec`] with an explicit scale and seed list.
+pub fn run_matrix(
+    schemes: &[SchemeKind],
+    n: u16,
+    benches: &[&str],
+    scale: f64,
+    seeds: &[u64],
+) -> Vec<Vec<RunMetrics>> {
+    let mut spec = ExperimentSpec::default();
+    spec.scale = scale;
+    spec.seeds = seeds.to_vec();
+    run_matrix_spec(schemes, n, benches, &spec)
+}
+
+/// The benchmark set a spec selects: all 29 with `--full`, else the
+/// quick subset.
+pub fn bench_set(spec: &ExperimentSpec) -> Vec<&'static str> {
+    if spec.full {
+        all_bench_names()
+    } else {
+        QUICK_BENCHES.to_vec()
+    }
 }
 
 /// The benchmark subset used by quick modes (network-heavy + light).

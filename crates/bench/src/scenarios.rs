@@ -1,0 +1,909 @@
+//! The scenario registry: every runnable experiment, by name.
+//!
+//! A [`Scenario`] is a pure function of the resolved
+//! [`ExperimentSpec`]: it renders its human-readable report to the
+//! provided writer (the driver sends it to stderr, the legacy wrappers
+//! to stdout) and returns its structured results as [`Json`], which the
+//! driver wraps in an `equinox.artifact/v1` envelope. Scenario code
+//! never touches `std::env` — everything it needs rides in the spec.
+//!
+//! The registry is the single source of truth for scenario names: the
+//! driver's dispatch, its `--help` listing, and the `all` meta-scenario
+//! iterate it.
+
+use crate::artifact::{load_point_json, run_metrics_json};
+use crate::{bench_set, design_for, run_matrix_spec, run_one_spec, run_seeds_spec, strong_design_8x8, timed_run_spec};
+use equinox_config::{ExperimentSpec, Json};
+use equinox_core::heatmap::placement_heatmap;
+use equinox_core::loadlat::{load_latency_curve_cfg, ReplySide};
+use equinox_core::svg::{design_svg, heatmap_svg};
+use equinox_core::{EquiNoxDesign, RunMetrics, SchemeKind, System, SystemConfig};
+use equinox_mcts::eval::{evaluate, EvalWeights};
+use equinox_mcts::problem::EirProblem;
+use equinox_mcts::tree::{search, MctsConfig};
+use equinox_mcts::{ga, sa};
+use equinox_phys::segment::count_crossings;
+use equinox_phys::{BumpModel, Coord};
+use equinox_placement::nqueen::{solutions, to_placement};
+use equinox_placement::select::best_nqueen_placement;
+use equinox_placement::{Placement, PlacementScorer};
+use equinox_traffic::Workload;
+use std::io::Write;
+use std::time::Instant;
+
+/// One registered scenario.
+pub struct Scenario {
+    /// Name used as the driver's positional argument.
+    pub name: &'static str,
+    /// One-line description for `--help`.
+    pub about: &'static str,
+    /// Runs the scenario: human report to `log`, structured results out.
+    pub run: fn(&ExperimentSpec, &mut dyn Write) -> Json,
+}
+
+/// All scenarios, in paper order.
+pub fn scenarios() -> &'static [Scenario] {
+    static SCENARIOS: &[Scenario] = &[
+        Scenario { name: "table1", about: "Table 1: key simulation parameters", run: table1 },
+        Scenario { name: "fig4", about: "Figure 4: placement heat maps + variances", run: fig4 },
+        Scenario { name: "fig5", about: "Figure 5: N-Queen scoring policy", run: fig5 },
+        Scenario { name: "fig7", about: "Figure 7: MCTS-selected EIR design", run: fig7 },
+        Scenario { name: "fig9", about: "Figure 9: time/energy/EDP across schemes x benchmarks", run: fig9 },
+        Scenario { name: "fig10", about: "Figure 10: packet-latency split", run: fig10 },
+        Scenario { name: "fig11", about: "Figure 11: NoC area", run: fig11 },
+        Scenario { name: "fig12", about: "Figure 12: scalability (8/12/16)", run: fig12 },
+        Scenario { name: "ubumps", about: "Section 6.6: ubump accounting", run: ubumps },
+        Scenario { name: "ablation", about: "Section 4 design-choice ablations", run: ablation },
+        Scenario { name: "overfull", about: "Section 6.8: 12 CBs on an 8x8 mesh", run: overfull },
+        Scenario { name: "extensions", about: "Reply compression + pipeline-depth extensions", run: extensions },
+        Scenario { name: "svg", about: "Write the SVG figures into docs/", run: svg_artifacts },
+        Scenario { name: "sweep", about: "Full scheme x benchmark matrix as raw run metrics", run: sweep },
+        Scenario { name: "loadlat", about: "Reply-network load-latency curves (baseline vs EquiNox)", run: loadlat },
+        Scenario { name: "perf", about: "Micro-benchmark the simulation substrate", run: perf },
+        Scenario { name: "designer", about: "Search and export an EquiNox design", run: designer },
+        Scenario { name: "all", about: "Every paper table and figure in sequence", run: all },
+    ];
+    SCENARIOS
+}
+
+/// Looks a scenario up by name.
+pub fn scenario(name: &str) -> Option<&'static Scenario> {
+    scenarios().iter().find(|s| s.name == name)
+}
+
+/// The auditor configuration a spec asks for (`None` when disarmed).
+pub fn audit_cfg(spec: &ExperimentSpec) -> Option<equinox_noc::AuditConfig> {
+    spec.audit.then_some(equinox_noc::AuditConfig {
+        check_interval: spec.audit_check_interval,
+        watchdog_window: spec.audit_watchdog_window,
+        panic_on_violation: spec.audit_panic,
+    })
+}
+
+macro_rules! out {
+    ($log:expr) => { let _ = writeln!($log); };
+    ($log:expr, $($t:tt)*) => { let _ = writeln!($log, $($t)*); };
+}
+
+fn header(log: &mut dyn Write, title: &str) {
+    out!(log, "\n=== {title} ===");
+}
+
+fn table1(_spec: &ExperimentSpec, log: &mut dyn Write) -> Json {
+    header(log, "Table 1: key simulation parameters");
+    let rows = [
+        ("Network size", "8x8 (12x12, 16x16 for scalability)"),
+        ("Network routing", "Minimal adaptive (XY escape VC)"),
+        ("Virtual channels", "2/port, 1 pkt (5 flits)/VC"),
+        ("Allocator", "Separable input-first"),
+        ("PE frequency", "1126 MHz"),
+        ("L2 cache (LLC) per bank", "2 MB (modelled as hit probability)"),
+        ("# of LLC banks", "8"),
+        ("HBM bandwidth", "256 GB/s per stack"),
+        ("Memory controllers", "8, FR-FCFS"),
+        ("Link width", "128 bits"),
+    ];
+    let mut j = Json::obj();
+    for (k, v) in rows {
+        out!(log, "  {k:26} {v}");
+        j = j.with(k, v);
+    }
+    j
+}
+
+fn fig4(_spec: &ExperimentSpec, log: &mut dyn Write) -> Json {
+    header(log, "Figure 4: placement heat maps (avg cycles per router; variance)");
+    let placements: Vec<(&str, Placement)> = vec![
+        ("Top", Placement::top(8, 8, 8)),
+        ("Side", Placement::side(8, 8, 8)),
+        ("Diagonal", Placement::diagonal(8, 8, 8)),
+        ("Diamond", Placement::diamond(8, 8, 8)),
+        ("N-Queen", best_nqueen_placement(8, 8, usize::MAX, 0)),
+    ];
+    let heats = equinox_exec::par_map(placements, |_, (name, p)| {
+        (name, placement_heatmap(&p, 0.85, 8_000, 1))
+    });
+    let mut variances = Json::obj();
+    let mut rows = Vec::new();
+    for (name, h) in heats {
+        rows.push((name, h.variance));
+        variances = variances.with(name, h.variance);
+        out!(log, "-- {name} (variance {:.2}) --\n{}", h.variance, h.render());
+    }
+    out!(log, "variance summary (paper: Top 16.4 >> Diamond 0.84 > N-Queen 0.54):");
+    for (name, v) in rows {
+        out!(log, "  {name:9} {v:8.2}");
+    }
+    Json::obj().with("variance", variances)
+}
+
+fn fig5(_spec: &ExperimentSpec, log: &mut dyn Write) -> Json {
+    header(log, "Figure 5: N-Queen scoring policy");
+    let sols = solutions(8);
+    out!(log, "  8x8 N-Queen solutions: {} (paper: 92)", sols.len());
+    let scorer = PlacementScorer::new(8, 8);
+    let mut scores: Vec<u64> = sols
+        .iter()
+        .map(|s| scorer.penalty(&to_placement(8, s, None).cbs))
+        .collect();
+    scores.sort_unstable();
+    let (best_p, median_p, worst_p) =
+        (scores[0], scores[scores.len() / 2], scores[scores.len() - 1]);
+    out!(log, "  penalty scores: best {best_p} / median {median_p} / worst {worst_p}");
+    let best = best_nqueen_placement(8, 8, usize::MAX, 0);
+    let chosen = scorer.penalty(&best.cbs);
+    out!(log, "  chosen placement (penalty {chosen}):");
+    let _ = write!(log, "{best}");
+    Json::obj()
+        .with("solutions", sols.len())
+        .with(
+            "penalty",
+            Json::obj().with("best", best_p).with("median", median_p).with("worst", worst_p),
+        )
+        .with("chosen_penalty", chosen)
+}
+
+fn render_design(log: &mut dyn Write, d: &EquiNoxDesign) {
+    let n = d.placement.width;
+    for y in 0..n {
+        for x in 0..n {
+            let t = Coord::new(x, y);
+            if let Some(ci) = d.placement.cb_index(t) {
+                let _ = write!(log, "C{ci} ");
+            } else if let Some(ci) = d.selection.groups.iter().position(|g| g.contains(&t)) {
+                let _ = write!(log, "e{ci} ");
+            } else {
+                let _ = write!(log, " . ");
+            }
+        }
+        out!(log);
+    }
+}
+
+fn fig7(_spec: &ExperimentSpec, log: &mut dyn Write) -> Json {
+    header(log, "Figure 7: MCTS-selected EIR design for 8x8");
+    let d = strong_design_8x8();
+    render_design(log, d);
+    let problem = EirProblem::new(d.placement.clone());
+    let ev = evaluate(&problem, &d.selection, &EvalWeights::default());
+    let segs = d.segments();
+    let wire_mm = problem.wire.total_length_mm(&segs);
+    out!(
+        log,
+        "  links {} | crossings {} (paper: 0) | RDL layers {} (paper: 1) | total wire {:.1} mm",
+        d.num_links(),
+        count_crossings(&segs),
+        d.rdl_layers(),
+        wire_mm,
+    );
+    let hops: Vec<u32> = segs.iter().map(|s| s.hop_length()).collect();
+    let (hop_min, hop_max) = (*hops.iter().min().unwrap(), *hops.iter().max().unwrap());
+    out!(log, "  EIR hop distances: min {hop_min} max {hop_max} (paper: all exactly 2)");
+    out!(
+        log,
+        "  eval: load {:.3} | hops {:.2} ({:.0}% of no-EIR) | cost {:.3}",
+        ev.max_load_norm,
+        ev.avg_hops,
+        ev.avg_hops_norm * 100.0,
+        ev.cost
+    );
+    Json::obj()
+        .with("links", d.num_links())
+        .with("crossings", count_crossings(&segs) as u64)
+        .with("rdl_layers", d.rdl_layers() as u64)
+        .with("wire_mm", wire_mm)
+        .with("hops", Json::obj().with("min", hop_min).with("max", hop_max))
+        .with(
+            "eval",
+            Json::obj()
+                .with("max_load_norm", ev.max_load_norm)
+                .with("avg_hops", ev.avg_hops)
+                .with("avg_hops_norm", ev.avg_hops_norm)
+                .with("cost", ev.cost),
+        )
+}
+
+/// Renders one normalized table to the log and returns it as JSON:
+/// per-benchmark normalized values per scheme, plus per-scheme geomeans.
+fn table_json(
+    log: &mut dyn Write,
+    title: &str,
+    benches: &[&str],
+    all_runs: &[Vec<RunMetrics>],
+    f: impl Fn(&RunMetrics) -> f64,
+) -> Json {
+    header(log, title);
+    let _ = write!(log, "{:18}", "benchmark");
+    for s in SchemeKind::ALL {
+        let _ = write!(log, "{:>18}", s.name());
+    }
+    out!(log);
+    let mut per_scheme: Vec<Vec<f64>> = vec![Vec::new(); 7];
+    let mut rows = Json::obj();
+    for (bench, runs) in benches.iter().zip(all_runs) {
+        let base = f(&runs[0]);
+        let _ = write!(log, "{bench:18}");
+        let mut row = Vec::new();
+        for (i, m) in runs.iter().enumerate() {
+            let v = f(m) / base;
+            per_scheme[i].push(v);
+            row.push(Json::Num(v));
+            let _ = write!(log, "{:>18.3}", v);
+        }
+        rows = rows.with(bench, row);
+        out!(log);
+    }
+    let _ = write!(log, "{:18}", "geomean");
+    let mut geo = Json::obj();
+    for (s, vals) in SchemeKind::ALL.into_iter().zip(&per_scheme) {
+        let g = equinox_core::metrics::geomean(vals);
+        geo = geo.with(s.name(), g);
+        let _ = write!(log, "{:>18.3}", g);
+    }
+    out!(log, "  (normalized to SingleBase)");
+    Json::obj().with("normalized", rows).with("geomean", geo)
+}
+
+fn fig9(spec: &ExperimentSpec, log: &mut dyn Write) -> Json {
+    let benches = bench_set(spec);
+    // Simulate once (each scheme × benchmark cell in parallel); derive
+    // all three tables from the same runs.
+    let all_runs = run_matrix_spec(&SchemeKind::ALL, 8, &benches, spec);
+    let time = table_json(
+        log,
+        "Figure 9(a): normalized execution time (paper geomeans: EquiNox 0.523, CMesh 0.621)",
+        &benches,
+        &all_runs,
+        |m| m.exec_ns,
+    );
+    let energy = table_json(
+        log,
+        "Figure 9(b): normalized NoC energy (paper: EquiNox 0.850 of SingleBase)",
+        &benches,
+        &all_runs,
+        |m| m.energy_j(),
+    );
+    let edp = table_json(
+        log,
+        "Figure 9(c): normalized EDP (paper: EquiNox 0.450 of SingleBase)",
+        &benches,
+        &all_runs,
+        |m| m.edp,
+    );
+    Json::obj()
+        .with("benches", benches.iter().map(|&b| Json::from(b)).collect::<Vec<_>>())
+        .with("exec_time", time)
+        .with("energy", energy)
+        .with("edp", edp)
+}
+
+fn fig10(spec: &ExperimentSpec, log: &mut dyn Write) -> Json {
+    header(log, "Figure 10: packet latency split, ns (geomean over quick subset)");
+    out!(
+        log,
+        "{:18}{:>10}{:>10}{:>10}{:>10}{:>10}",
+        "scheme", "req_queue", "req_net", "rep_queue", "rep_net", "total"
+    );
+    let runs = run_matrix_spec(&SchemeKind::ALL, 8, &crate::QUICK_BENCHES, spec);
+    let mut j = Json::obj();
+    for (si, scheme) in SchemeKind::ALL.into_iter().enumerate() {
+        let mut qs = [Vec::new(), Vec::new(), Vec::new(), Vec::new()];
+        for row in &runs {
+            let m = &row[si];
+            qs[0].push(m.latency.req_queue_ns.max(0.01));
+            qs[1].push(m.latency.req_net_ns.max(0.01));
+            qs[2].push(m.latency.rep_queue_ns.max(0.01));
+            qs[3].push(m.latency.rep_net_ns.max(0.01));
+        }
+        let g: Vec<f64> = qs.iter().map(|v| equinox_core::metrics::geomean(v)).collect();
+        out!(
+            log,
+            "{:18}{:>10.1}{:>10.1}{:>10.1}{:>10.1}{:>10.1}",
+            scheme.name(),
+            g[0],
+            g[1],
+            g[2],
+            g[3],
+            g.iter().sum::<f64>()
+        );
+        j = j.with(
+            scheme.name(),
+            Json::obj()
+                .with("req_queue_ns", g[0])
+                .with("req_net_ns", g[1])
+                .with("rep_queue_ns", g[2])
+                .with("rep_net_ns", g[3])
+                .with("total_ns", g.iter().sum::<f64>()),
+        );
+    }
+    out!(log, "(paper: request latency >> reply latency — reply-injection backpressure)");
+    j
+}
+
+fn fig11(spec: &ExperimentSpec, log: &mut dyn Write) -> Json {
+    header(log, "Figure 11: NoC area, mm^2 (relative; paper: EquiNox +4.6% vs SeparateBase)");
+    // Area is load-independent, so a tiny fixed workload suffices.
+    let mut area_spec = spec.clone();
+    area_spec.scale = 0.02;
+    let mut areas = Vec::new();
+    for scheme in SchemeKind::ALL {
+        let m = run_one_spec(scheme, 8, "gaussian", 1, &area_spec);
+        areas.push((scheme, m.area_mm2));
+    }
+    let single = areas[0].1;
+    let separate = areas[3].1;
+    let mut j = Json::obj();
+    for (s, a) in &areas {
+        out!(
+            log,
+            "  {:18} {a:8.2} mm^2   ({:.2}x SingleBase, {:+.1}% vs SeparateBase)",
+            s.name(),
+            a / single,
+            (a / separate - 1.0) * 100.0
+        );
+        j = j.with(s.name(), *a);
+    }
+    Json::obj().with("area_mm2", j)
+}
+
+fn fig12(spec: &ExperimentSpec, log: &mut dyn Write) -> Json {
+    header(log, "Figure 12: scalability — EquiNox IPC vs SeparateBase (paper: 1.23x/1.31x/1.30x)");
+    let sizes = [8u16, 12, 16];
+    let jobs: Vec<(u16, SchemeKind)> = sizes
+        .iter()
+        .flat_map(|&n| [(n, SchemeKind::SeparateBase), (n, SchemeKind::EquiNox)])
+        .collect();
+    // Force the per-size design searches before the fan-out.
+    for &n in &sizes {
+        let _ = design_for(n);
+    }
+    let runs = equinox_exec::par_map(jobs, |_, (n, scheme)| {
+        run_seeds_spec(scheme, n, "kmeans", spec)
+    });
+    let mut j = Json::obj();
+    for (i, &n) in sizes.iter().enumerate() {
+        let (s, e) = (&runs[2 * i], &runs[2 * i + 1]);
+        out!(
+            log,
+            "  {n:2}x{n:<2}  SeparateBase IPC {:6.2}  EquiNox IPC {:6.2}  speedup {:.2}x",
+            s.ipc,
+            e.ipc,
+            e.ipc / s.ipc
+        );
+        j = j.with(
+            &format!("{n}x{n}"),
+            Json::obj()
+                .with("separate_base_ipc", s.ipc)
+                .with("equinox_ipc", e.ipc)
+                .with("speedup", e.ipc / s.ipc),
+        );
+    }
+    j
+}
+
+fn ubumps(_spec: &ExperimentSpec, log: &mut dyn Write) -> Json {
+    header(log, "Section 6.6: ubump accounting");
+    let m = BumpModel::default();
+    let cmesh = m.bump_count(2 * 64, 256, 1);
+    let d = strong_design_8x8();
+    let equinox = d.ubump_count(128);
+    let saving = equinox_phys::bumps::saving_fraction(equinox as f64, cmesh as f64);
+    out!(
+        log,
+        "  Interposer-CMesh: 128 uni links x 256b x 1 bump  = {cmesh} ubumps ({:.2} mm^2)",
+        m.bump_area_mm2(cmesh)
+    );
+    out!(
+        log,
+        "  EquiNox: {} uni links x 128b x 2 bumps           = {equinox} ubumps ({:.2} mm^2)",
+        d.num_links(),
+        m.bump_area_mm2(equinox)
+    );
+    out!(log, "  saving: {:.2}% (paper: 81.25% with 24 links)", saving * 100.0);
+    Json::obj()
+        .with("cmesh_ubumps", cmesh as u64)
+        .with("equinox_ubumps", equinox as u64)
+        .with("saving_fraction", saving)
+}
+
+fn run_with_design(d: &EquiNoxDesign, bench: &str, spec: &ExperimentSpec) -> RunMetrics {
+    let profile = equinox_traffic::profile::benchmark(bench).expect("known benchmark");
+    let mut best: Option<RunMetrics> = None;
+    for &seed in &spec.seeds {
+        let mut cfg = SystemConfig::from_spec(
+            SchemeKind::EquiNox,
+            d.placement.width,
+            Workload::new(profile, spec.scale, seed),
+            spec,
+        );
+        cfg.design = Some(d.clone());
+        let m = System::build(cfg).run();
+        if best.as_ref().is_none_or(|b| m.cycles < b.cycles) {
+            best = Some(m);
+        }
+    }
+    best.expect("ran at least one seed")
+}
+
+fn ablation(spec: &ExperimentSpec, log: &mut dyn Write) -> Json {
+    header(log, "Ablation A: search method quality (same evaluation function)");
+    let placement = strong_design_8x8().placement.clone();
+    let problem = EirProblem::new(placement.clone());
+    let mcts = search(
+        &problem,
+        &MctsConfig { iterations: 2_000, seed: 7, ..Default::default() },
+    );
+    let ga_r = ga::search(
+        &problem,
+        &ga::GaConfig { population: 32, generations: 80, seed: 7, ..Default::default() },
+    );
+    let sa_r = sa::search(
+        &problem,
+        &sa::SaConfig { steps: 2_600, seed: 7, ..Default::default() },
+    );
+    let mut methods = Json::obj();
+    for (name, r) in [("MCTS", &mcts), ("GA", &ga_r), ("SA", &sa_r)] {
+        out!(
+            log,
+            "  {name:5} cost {:8.4}  crossings {:2}  links {:2}  evaluations {}",
+            r.eval.cost,
+            r.eval.crossings,
+            r.selection.total_eirs(),
+            r.evaluations
+        );
+        methods = methods.with(
+            name,
+            Json::obj()
+                .with("cost", r.eval.cost)
+                .with("crossings", r.eval.crossings as u64)
+                .with("links", r.selection.total_eirs())
+                .with("evaluations", r.evaluations as u64),
+        );
+    }
+
+    header(log, "Ablation B: EIR hop budget (paper: 2 hops suffice)");
+    let mut hop_budget = Json::obj();
+    for max_hops in [2u32, 3, 4] {
+        let mut p = EirProblem::new(placement.clone());
+        p.max_hops = max_hops;
+        let r = search(&p, &MctsConfig { iterations: 2_000, seed: 7, ..Default::default() });
+        let d = EquiNoxDesign { placement: placement.clone(), selection: r.selection };
+        let m = run_with_design(&d, "kmeans", spec);
+        out!(
+            log,
+            "  max_hops {max_hops}: cost {:.3} crossings {} -> exec {} cycles",
+            r.eval.cost, r.eval.crossings, m.cycles
+        );
+        hop_budget = hop_budget.with(
+            &max_hops.to_string(),
+            Json::obj()
+                .with("cost", r.eval.cost)
+                .with("crossings", r.eval.crossings as u64)
+                .with("cycles", m.cycles),
+        );
+    }
+
+    header(log, "Ablation C: EIRs per group (paper balances number vs. capability)");
+    let mut group_size = Json::obj();
+    for k in [1usize, 2, 4, 6] {
+        let mut p = EirProblem::new(placement.clone());
+        p.group_size = k;
+        let r = search(&p, &MctsConfig { iterations: 1_500, seed: 7, ..Default::default() });
+        let d = EquiNoxDesign { placement: placement.clone(), selection: r.selection };
+        let m = run_with_design(&d, "kmeans", spec);
+        out!(
+            log,
+            "  group_size {k}: links {:2} load {:.3} -> exec {} cycles",
+            d.num_links(),
+            r.eval.max_load_norm,
+            m.cycles
+        );
+        group_size = group_size.with(
+            &k.to_string(),
+            Json::obj()
+                .with("links", d.num_links())
+                .with("max_load_norm", r.eval.max_load_norm)
+                .with("cycles", m.cycles),
+        );
+    }
+
+    header(log, "Ablation D: CB placement under EIRs (N-Queen vs Diamond)");
+    let mut placements = Json::obj();
+    for (name, plc) in [
+        ("N-Queen", placement.clone()),
+        ("Diamond", Placement::diamond(8, 8, 8)),
+    ] {
+        let p = EirProblem::new(plc.clone());
+        let r = search(&p, &MctsConfig { iterations: 2_000, seed: 7, ..Default::default() });
+        let d = EquiNoxDesign { placement: plc, selection: r.selection };
+        let m = run_with_design(&d, "kmeans", spec);
+        let penalty = PlacementScorer::new(8, 8).penalty(&d.placement.cbs);
+        out!(
+            log,
+            "  {name:8} crossings {:2} RDL layers {} -> exec {} cycles (penalty {})",
+            r.eval.crossings,
+            d.rdl_layers(),
+            m.cycles,
+            penalty
+        );
+        placements = placements.with(
+            name,
+            Json::obj()
+                .with("crossings", r.eval.crossings as u64)
+                .with("rdl_layers", d.rdl_layers() as u64)
+                .with("cycles", m.cycles)
+                .with("penalty", penalty),
+        );
+    }
+    Json::obj()
+        .with("search_methods", methods)
+        .with("hop_budget", hop_budget)
+        .with("group_size", group_size)
+        .with("placement", placements)
+}
+
+/// §6.8: more CBs than rows — knight-move placement + EIRs.
+fn overfull(spec: &ExperimentSpec, log: &mut dyn Write) -> Json {
+    header(log, "Section 6.8: 12 cache banks on an 8x8 mesh (knight-move placement)");
+    let d = EquiNoxDesign::search_k(8, 12, 1_500, 7, 1);
+    out!(log, "{}", d.render());
+    out!(
+        log,
+        "  attacking CB pairs {} | links {} | crossings {} | RDL layers {}",
+        equinox_placement::knight::attacking_pairs(&d.placement),
+        d.num_links(),
+        count_crossings(&d.segments()),
+        d.rdl_layers()
+    );
+    let profile = equinox_traffic::profile::benchmark("kmeans").expect("known");
+    let seed = spec.seeds[0];
+    let mut j = Json::obj()
+        .with("links", d.num_links())
+        .with("crossings", count_crossings(&d.segments()) as u64)
+        .with("rdl_layers", d.rdl_layers() as u64);
+    for scheme in [SchemeKind::SeparateBase, SchemeKind::EquiNox] {
+        let mut cfg =
+            SystemConfig::from_spec(scheme, 8, Workload::new(profile, spec.scale, seed), spec);
+        cfg.n_cbs = 12;
+        if scheme == SchemeKind::EquiNox {
+            cfg.design = Some(d.clone());
+        } else {
+            cfg.placement_override = Some(d.placement.clone());
+        }
+        let m = System::build(cfg).run();
+        out!(log, "  {:14} {:>7} cycles | EDP {:.2e}", scheme.name(), m.cycles, m.edp);
+        j = j.with(
+            scheme.name(),
+            Json::obj().with("cycles", m.cycles).with("edp", m.edp),
+        );
+    }
+    j
+}
+
+/// Extensions: reply compression (§7 \[47\], orthogonal) and router
+/// pipeline depth sensitivity.
+fn extensions(spec: &ExperimentSpec, log: &mut dyn Write) -> Json {
+    let profile = equinox_traffic::profile::benchmark("kmeans").expect("known");
+    let d = strong_design_8x8();
+    let seed = spec.seeds[0];
+
+    header(log, "Extension: reply compression is complementary to EquiNox (§7)");
+    let mut compression = Vec::new();
+    for (scheme, comp) in [
+        (SchemeKind::SeparateBase, 0.0),
+        (SchemeKind::SeparateBase, 0.6),
+        (SchemeKind::EquiNox, 0.0),
+        (SchemeKind::EquiNox, 0.6),
+    ] {
+        let mut cfg =
+            SystemConfig::from_spec(scheme, 8, Workload::new(profile, spec.scale, seed), spec);
+        cfg.design = Some(d.clone());
+        cfg.reply_compression = comp;
+        let m = System::build(cfg).run();
+        out!(
+            log,
+            "  {:14} compression {:.0}% -> {:>7} cycles, EDP {:.2e}",
+            scheme.name(),
+            comp * 100.0,
+            m.cycles,
+            m.edp
+        );
+        compression.push(
+            Json::obj()
+                .with("scheme", scheme.name())
+                .with("compression", comp)
+                .with("cycles", m.cycles)
+                .with("edp", m.edp),
+        );
+    }
+
+    header(log, "Extension: router pipeline depth sensitivity");
+    let mut pipeline = Vec::new();
+    for extra in [0u32, 1, 2] {
+        let mut a = SystemConfig::from_spec(
+            SchemeKind::SeparateBase,
+            8,
+            Workload::new(profile, spec.scale, seed),
+            spec,
+        );
+        a.pipeline_extra = extra;
+        let base = System::build(a).run();
+        let mut b = SystemConfig::from_spec(
+            SchemeKind::EquiNox,
+            8,
+            Workload::new(profile, spec.scale, seed),
+            spec,
+        );
+        b.design = Some(d.clone());
+        b.pipeline_extra = extra;
+        let eq = System::build(b).run();
+        out!(
+            log,
+            "  +{extra} stages: SeparateBase {:>7} cycles | EquiNox {:>7} cycles | speedup {:.2}x",
+            base.cycles,
+            eq.cycles,
+            base.cycles as f64 / eq.cycles as f64
+        );
+        pipeline.push(
+            Json::obj()
+                .with("extra_stages", extra)
+                .with("separate_base_cycles", base.cycles)
+                .with("equinox_cycles", eq.cycles)
+                .with("speedup", base.cycles as f64 / eq.cycles as f64),
+        );
+    }
+    Json::obj().with("compression", compression).with("pipeline_depth", pipeline)
+}
+
+/// Writes the SVG artifacts (Figure 7 wiring diagram, Figure 4 heat
+/// maps) into docs/.
+fn svg_artifacts(_spec: &ExperimentSpec, log: &mut dyn Write) -> Json {
+    header(log, "SVG artifacts -> docs/");
+    std::fs::create_dir_all("docs").expect("create docs dir");
+    let d = strong_design_8x8();
+    std::fs::write("docs/fig7_design.svg", design_svg(d)).expect("write fig7 svg");
+    out!(log, "  docs/fig7_design.svg");
+    let mut written = vec![Json::from("docs/fig7_design.svg")];
+    for (name, p) in [
+        ("top", Placement::top(8, 8, 8)),
+        ("diamond", Placement::diamond(8, 8, 8)),
+        ("nqueen", best_nqueen_placement(8, 8, usize::MAX, 0)),
+    ] {
+        let h = placement_heatmap(&p, 0.85, 8_000, 1);
+        let path = format!("docs/fig4_{name}.svg");
+        std::fs::write(&path, heatmap_svg(&h, &p.cbs)).expect("write heat svg");
+        out!(log, "  {path} (variance {:.2})", h.variance);
+        written.push(Json::from(path));
+    }
+    Json::obj().with("written", written)
+}
+
+/// Full scheme × benchmark matrix emitted as raw per-run metrics — the
+/// machine-readable counterpart of fig9/fig10's derived tables.
+fn sweep(spec: &ExperimentSpec, log: &mut dyn Write) -> Json {
+    let benches = bench_set(spec);
+    out!(
+        log,
+        "sweeping {} schemes x {} benchmarks x {} seeds (mesh {}x{})…",
+        SchemeKind::ALL.len(),
+        benches.len(),
+        spec.seeds.len(),
+        spec.n,
+        spec.n
+    );
+    let rows = run_matrix_spec(&SchemeKind::ALL, spec.n, &benches, spec);
+    let mut runs = Vec::new();
+    for row in &rows {
+        runs.push(Json::Arr(row.iter().map(run_metrics_json).collect()));
+    }
+    out!(log, "done: {} cells", rows.iter().map(Vec::len).sum::<usize>());
+    Json::obj()
+        .with("benches", benches.iter().map(|&b| Json::from(b)).collect::<Vec<_>>())
+        .with(
+            "schemes",
+            SchemeKind::ALL.iter().map(|s| Json::from(s.name())).collect::<Vec<_>>(),
+        )
+        .with("runs", runs)
+}
+
+/// Reply-network load–latency curves: local-buffer baseline vs the
+/// EquiNox injection structure (the old `sweep` binary's experiment).
+fn loadlat(spec: &ExperimentSpec, log: &mut dyn Write) -> Json {
+    out!(
+        log,
+        "searching design ({}x{}, {} CBs, {} iterations, seed {})…",
+        spec.n, spec.n, spec.n_cbs, spec.iters, spec.seed
+    );
+    let design = EquiNoxDesign::search(spec.n, spec.n_cbs, spec.iters, spec.seed);
+    let rates: Vec<f64> = (1..=20).map(|i| i as f64 / 20.0).collect();
+    let audit = audit_cfg(spec);
+    let seed = spec.seeds[0];
+    let base = load_latency_curve_cfg(
+        &design.placement,
+        &ReplySide::Local,
+        &rates,
+        spec.cycles,
+        seed,
+        audit.clone(),
+        spec.activity_gate,
+    );
+    let eq = load_latency_curve_cfg(
+        &design.placement,
+        &ReplySide::Equinox(design.clone()),
+        &rates,
+        spec.cycles,
+        seed,
+        audit,
+        spec.activity_gate,
+    );
+    out!(log, "measured {} rates x 2 sides over {} cycles", rates.len(), spec.cycles);
+    Json::obj()
+        .with("links", design.num_links())
+        .with("baseline", base.iter().map(load_point_json).collect::<Vec<_>>())
+        .with("equinox", eq.iter().map(load_point_json).collect::<Vec<_>>())
+}
+
+/// Micro-benchmark of the simulation substrate itself (see the `perf`
+/// wrapper's docs for what each rate means).
+fn perf(spec: &ExperimentSpec, log: &mut dyn Write) -> Json {
+    // Warm everything the timed regions would otherwise pay for once:
+    // the cached 8×8 EquiNox design and the allocator's steady state.
+    out!(log, "warming design cache + hot loop…");
+    let _ = design_for(8);
+    let _ = run_one_spec(SchemeKind::SeparateBase, 8, "kmeans", 1, spec);
+
+    // Single-simulation cycle rate (sequential hot loop), saturated.
+    let reps = if spec.quick { 1 } else { 3 };
+    let mut best_rate = 0f64;
+    for _ in 0..reps {
+        let (cycles, secs) = timed_run_spec(SchemeKind::SeparateBase, 8, "kmeans", 1, spec);
+        best_rate = best_rate.max(cycles as f64 / secs);
+    }
+
+    // Low-load cycle rate: one deeply sub-saturation load–latency point,
+    // where activity-gated stepping pays off.
+    let placement = Placement::diamond(8, 8, 8);
+    let low_cycles = 50_000u64;
+    let audit = audit_cfg(spec);
+    let measure = |cycles: u64| {
+        load_latency_curve_cfg(
+            &placement,
+            &ReplySide::Local,
+            &[0.02],
+            cycles,
+            1,
+            audit.clone(),
+            spec.activity_gate,
+        )
+    };
+    let _ = measure(5_000);
+    let mut low_load_rate = 0f64;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let pts = measure(low_cycles);
+        let rate = low_cycles as f64 / t0.elapsed().as_secs_f64();
+        assert!(pts[0].throughput > 0.0, "low-load run carried no traffic");
+        low_load_rate = low_load_rate.max(rate);
+    }
+
+    // Quick repro sweep (7 schemes × 6 benchmarks × seeds) on the pool.
+    let t0 = Instant::now();
+    let rows = run_matrix_spec(&SchemeKind::ALL, 8, &crate::QUICK_BENCHES, spec);
+    let sweep_wall_s = t0.elapsed().as_secs_f64();
+    let sims = rows.iter().map(Vec::len).sum::<usize>() * spec.seeds.len();
+
+    Json::obj()
+        .with("single_cycles_per_sec", best_rate.round())
+        .with("low_load_cycles_per_sec", low_load_rate.round())
+        .with("sweep_wall_s", (sweep_wall_s * 1000.0).round() / 1000.0)
+        .with("sweep_sims", sims)
+        .with("threads", equinox_exec::thread_count())
+        .with("scale", spec.scale)
+}
+
+/// Searches an EquiNox design per the spec and returns it in both the
+/// stable text format and as an SVG wiring diagram (the wrapper's
+/// `--out`/`--svg` write these fields to files).
+fn designer(spec: &ExperimentSpec, log: &mut dyn Write) -> Json {
+    out!(
+        log,
+        "searching: {}x{} mesh, {} CBs, {} MCTS iterations, seed {}…",
+        spec.n, spec.n, spec.n_cbs, spec.iters, spec.seed
+    );
+    let start = Instant::now();
+    let design = EquiNoxDesign::search(spec.n, spec.n_cbs, spec.iters, spec.seed);
+    out!(log, "search took {:.1?}", start.elapsed());
+    out!(log, "{}", design.render());
+    let crossings = count_crossings(&design.segments());
+    out!(
+        log,
+        "links {} | crossings {} | RDL layers {} | ubumps {}",
+        design.num_links(),
+        crossings,
+        design.rdl_layers(),
+        design.ubump_count(128)
+    );
+    Json::obj()
+        .with("links", design.num_links())
+        .with("crossings", crossings as u64)
+        .with("rdl_layers", design.rdl_layers() as u64)
+        .with("ubumps", design.ubump_count(128) as u64)
+        .with("design_text", design.to_text())
+        .with("svg", design_svg(&design))
+}
+
+/// Every paper table and figure in sequence (the repro default).
+fn all(spec: &ExperimentSpec, log: &mut dyn Write) -> Json {
+    let mut j = Json::obj();
+    for s in scenarios() {
+        if matches!(s.name, "all" | "sweep" | "loadlat" | "perf" | "designer") {
+            continue;
+        }
+        j = j.with(s.name, (s.run)(spec, &mut *log));
+    }
+    j
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_are_unique_and_resolvable() {
+        let mut names: Vec<&str> = scenarios().iter().map(|s| s.name).collect();
+        assert!(names.contains(&"all"));
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), scenarios().len(), "duplicate scenario name");
+        for n in names {
+            assert!(scenario(n).is_some());
+        }
+        assert!(scenario("nope").is_none());
+    }
+
+    #[test]
+    fn table1_logs_and_returns_rows() {
+        let mut log = Vec::new();
+        let j = table1(&ExperimentSpec::default(), &mut log);
+        let text = String::from_utf8(log).unwrap();
+        assert!(text.contains("Table 1"));
+        assert_eq!(
+            j.get("Link width").and_then(Json::as_str),
+            Some("128 bits")
+        );
+    }
+
+    #[test]
+    fn audit_cfg_mirrors_the_spec() {
+        let mut spec = ExperimentSpec::default();
+        assert!(audit_cfg(&spec).is_none());
+        spec.audit = true;
+        spec.audit_check_interval = 32;
+        spec.audit_watchdog_window = 123;
+        spec.audit_panic = false;
+        let a = audit_cfg(&spec).unwrap();
+        assert_eq!(a.check_interval, 32);
+        assert_eq!(a.watchdog_window, 123);
+        assert!(!a.panic_on_violation);
+    }
+}

@@ -1,0 +1,123 @@
+//! End-to-end tests of the unified `equinox` driver and the artifact
+//! layer: every registered scenario resolves and is listed in `--help`,
+//! malformed command lines die loudly, a real scenario round-trips
+//! through the artifact envelope, and a full `RunMetrics` emission is
+//! pinned against a golden snapshot (regenerate with
+//! `EQUINOX_REGEN_GOLDEN=1`).
+
+use equinox_bench::artifact::run_metrics_json;
+use equinox_bench::scenarios::{scenario, scenarios};
+use equinox_config::{parse_json, Json};
+use equinox_core::SchemeKind;
+use std::path::Path;
+use std::process::Command;
+
+fn driver() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_equinox"))
+}
+
+#[test]
+fn every_scenario_resolves_and_appears_in_help() {
+    let out = driver().arg("--help").output().expect("run driver");
+    assert!(out.status.success(), "--help must exit 0");
+    let help = String::from_utf8(out.stdout).expect("utf8 help");
+    for s in scenarios() {
+        assert!(scenario(s.name).is_some(), "{} must resolve", s.name);
+        assert!(help.contains(s.name), "--help must list '{}'", s.name);
+    }
+    // The flag section comes from the shared registry.
+    for flag in ["--scale", "--seeds", "--no-activity-gate", "--spec", "--out"] {
+        assert!(help.contains(flag), "--help must list '{flag}'");
+    }
+}
+
+#[test]
+fn unknown_scenario_is_fatal() {
+    let out = driver().arg("fig99").output().expect("run driver");
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("fig99"), "stderr must name the scenario: {err}");
+}
+
+#[test]
+fn malformed_values_and_unknown_flags_are_fatal() {
+    for (args, needle) in [
+        (vec!["table1", "--scale", "fast"], "--scale"),
+        (vec!["table1", "--threads", "many"], "--threads"),
+        (vec!["table1", "--bogus"], "--bogus"),
+        (vec!["table1", "--scale"], "--scale"),
+        (vec!["table1", "--seeds", "1,x"], "--seeds"),
+    ] {
+        let out = driver().args(&args).output().expect("run driver");
+        assert!(!out.status.success(), "{args:?} must exit nonzero");
+        let err = String::from_utf8(out.stderr).unwrap();
+        assert!(err.contains(needle), "{args:?}: stderr must name {needle}: {err}");
+        assert!(err.contains("usage:"), "{args:?}: stderr must show usage");
+    }
+}
+
+#[test]
+fn driver_emits_a_valid_artifact_with_spec_provenance() {
+    let out = driver()
+        .args(["table1", "--scale", "0.25", "--audit"])
+        .output()
+        .expect("run driver");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let artifact = parse_json(&String::from_utf8(out.stdout).unwrap()).expect("stdout is JSON");
+    assert_eq!(
+        artifact.get("schema").and_then(Json::as_str),
+        Some("equinox.artifact/v1")
+    );
+    assert_eq!(artifact.get("scenario").and_then(Json::as_str), Some("table1"));
+    let spec = artifact.get("spec").expect("spec block");
+    assert_eq!(spec.get("scale").and_then(Json::as_f64), Some(0.25));
+    assert_eq!(spec.get("audit").and_then(Json::as_bool), Some(true));
+    let prov = spec.get("provenance").expect("provenance block");
+    assert_eq!(prov.get("scale").and_then(Json::as_str), Some("cli"));
+    assert_eq!(prov.get("n").and_then(Json::as_str), Some("default"));
+    assert!(artifact.get("results").is_some());
+    // The human report went to stderr, not stdout.
+    assert!(String::from_utf8(out.stderr).unwrap().contains("Table 1"));
+}
+
+#[test]
+fn spec_file_layer_reaches_the_artifact() {
+    let dir = std::env::temp_dir().join("equinox_driver_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let spec_path = dir.join("spec.json");
+    std::fs::write(&spec_path, r#"{"scale": 0.125, "seeds": [5]}"#).unwrap();
+    let out_path = dir.join("artifact.json");
+    let out = driver()
+        .args(["table1", "--spec"])
+        .arg(&spec_path)
+        .arg("--out")
+        .arg(&out_path)
+        .output()
+        .expect("run driver");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let artifact = parse_json(&std::fs::read_to_string(&out_path).unwrap()).unwrap();
+    let spec = artifact.get("spec").unwrap();
+    assert_eq!(spec.get("scale").and_then(Json::as_f64), Some(0.125));
+    assert_eq!(
+        spec.get("provenance").unwrap().get("scale").and_then(Json::as_str),
+        Some("file")
+    );
+}
+
+#[test]
+fn run_metrics_emission_matches_golden_snapshot() {
+    let m = equinox_bench::run_one(SchemeKind::SeparateBase, 8, "gaussian", 0.05, 1);
+    let emitted = run_metrics_json(&m).pretty();
+    let golden_path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/run_metrics.json");
+    if std::env::var("EQUINOX_REGEN_GOLDEN").is_ok() {
+        std::fs::write(&golden_path, &emitted).expect("write golden");
+        return;
+    }
+    let golden = std::fs::read_to_string(&golden_path)
+        .expect("golden snapshot missing — run with EQUINOX_REGEN_GOLDEN=1");
+    assert_eq!(
+        emitted, golden,
+        "RunMetrics emission drifted from the golden snapshot; \
+         if intentional, regenerate with EQUINOX_REGEN_GOLDEN=1"
+    );
+}

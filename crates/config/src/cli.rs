@@ -1,0 +1,247 @@
+//! The shared, strict command-line parser.
+//!
+//! Every binary (the unified `equinox` driver and the four legacy
+//! wrappers) parses its arguments here, so they all share one flag
+//! vocabulary — the spec field registry — and one failure discipline:
+//! an unknown flag, a flag missing its value, or a malformed value is a
+//! hard error naming the offender, never a silent fall-back to a
+//! default (the historical behavior this replaces).
+//!
+//! Grammar:
+//!
+//! ```text
+//! <positional>* [--spec FILE] [--out PATH] [<field flag> [VALUE]]* [--help]
+//! ```
+//!
+//! Field flags come from [`crate::spec::fields`]; callers may register
+//! extra binary-specific flags (e.g. `designer --svg PATH`) through
+//! [`Extras`].
+
+use crate::spec::{field_by_flag, FieldDef};
+
+/// Binary-specific flags beyond the shared field registry.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Extras<'a> {
+    /// Extra flags that take a value (`[("--svg", "write an SVG")]`).
+    pub value_flags: &'a [(&'a str, &'a str)],
+    /// Extra presence-only flags.
+    pub bool_flags: &'a [(&'a str, &'a str)],
+}
+
+/// A successfully parsed command line.
+#[derive(Debug, Default)]
+pub struct Parsed {
+    /// Positional arguments in order (scenario names).
+    pub positionals: Vec<String>,
+    /// `--spec FILE`, if given.
+    pub spec_file: Option<String>,
+    /// `--out PATH`, if given.
+    pub out: Option<String>,
+    /// Validated spec-field assignments in command-line order
+    /// (presence flags carry `"1"`), ready for the resolver.
+    pub sets: Vec<(&'static FieldDef, String)>,
+    /// Values of the caller's extra flags: `(flag, value)`;
+    /// presence-only extras carry an empty value.
+    pub extras: Vec<(String, String)>,
+}
+
+impl Parsed {
+    /// The value of a binary-specific extra flag, if present.
+    pub fn extra(&self, flag: &str) -> Option<&str> {
+        self.extras
+            .iter()
+            .rev()
+            .find(|(f, _)| f == flag)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// `true` if a presence-only extra flag was given.
+    pub fn has_extra(&self, flag: &str) -> bool {
+        self.extras.iter().any(|(f, _)| f == flag)
+    }
+}
+
+/// A parse failure; [`std::fmt::Display`] names the offending flag, and
+/// the driver follows it with the usage text and a nonzero exit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CliError {
+    /// `--help` / `-h` was requested (not an error; print usage, exit 0).
+    Help,
+    /// A flag not in the registry or the extras.
+    UnknownFlag(String),
+    /// A value-taking flag at the end of the line, or followed by
+    /// another flag.
+    MissingValue(String),
+    /// A value that does not parse for its field.
+    BadValue {
+        /// The flag at fault.
+        flag: String,
+        /// What was wrong with its value.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Help => write!(f, "help requested"),
+            CliError::UnknownFlag(flag) => write!(f, "unknown flag '{flag}'"),
+            CliError::MissingValue(flag) => write!(f, "flag '{flag}' is missing its value"),
+            CliError::BadValue { flag, message } => {
+                write!(f, "bad value for '{flag}': {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// Parses `args` (without the program name) against the shared field
+/// registry plus `extras`.
+///
+/// Values are validated eagerly (on a scratch spec) so a malformed
+/// `--scale x` fails here, before any layer resolution or simulation
+/// starts.
+///
+/// # Errors
+///
+/// [`CliError::Help`] on `--help`/`-h`; otherwise the first unknown
+/// flag, missing value, or malformed value.
+pub fn parse(args: &[String], extras: Extras<'_>) -> Result<Parsed, CliError> {
+    let mut parsed = Parsed::default();
+    let mut scratch = crate::spec::ExperimentSpec::default();
+    let mut i = 0;
+    while i < args.len() {
+        let a = args[i].as_str();
+        let take_value = |i: &mut usize| -> Result<String, CliError> {
+            match args.get(*i + 1) {
+                Some(v) if !v.starts_with("--") => {
+                    *i += 1;
+                    Ok(v.clone())
+                }
+                _ => Err(CliError::MissingValue(a.to_string())),
+            }
+        };
+        if a == "--help" || a == "-h" {
+            return Err(CliError::Help);
+        } else if a == "--spec" {
+            parsed.spec_file = Some(take_value(&mut i)?);
+        } else if a == "--out" {
+            parsed.out = Some(take_value(&mut i)?);
+        } else if let Some(field) = field_by_flag(a) {
+            let raw = if field.takes_value {
+                take_value(&mut i)?
+            } else {
+                "1".to_string()
+            };
+            scratch
+                .set_str(field, &raw, crate::spec::Layer::Cli)
+                .map_err(|message| CliError::BadValue {
+                    flag: a.to_string(),
+                    message,
+                })?;
+            parsed.sets.push((field, raw));
+        } else if let Some((flag, _)) = extras.value_flags.iter().find(|(f, _)| *f == a) {
+            let v = take_value(&mut i)?;
+            parsed.extras.push(((*flag).to_string(), v));
+        } else if let Some((flag, _)) = extras.bool_flags.iter().find(|(f, _)| *f == a) {
+            parsed.extras.push(((*flag).to_string(), String::new()));
+        } else if a.starts_with('-') && a.len() > 1 && !a[1..2].chars().all(|c| c.is_ascii_digit())
+        {
+            return Err(CliError::UnknownFlag(a.to_string()));
+        } else {
+            parsed.positionals.push(a.to_string());
+        }
+        i += 1;
+    }
+    Ok(parsed)
+}
+
+/// The shared flag section of a usage message: driver flags, then one
+/// line per registered spec field, then the caller's extras.
+pub fn flag_help(extras: Extras<'_>) -> String {
+    let mut out = String::new();
+    let mut line = |flag: &str, value: bool, help: &str| {
+        let val = if value { " VALUE" } else { "" };
+        out.push_str(&format!("  {:28} {help}\n", format!("{flag}{val}")));
+    };
+    line("--spec", true, "layer a JSON spec file under env/CLI overrides");
+    line("--out", true, "write the JSON artifact to this path");
+    line("--help", false, "print this message");
+    for f in crate::spec::fields() {
+        line(f.flag, f.takes_value, f.help);
+    }
+    for (flag, help) in extras.value_flags {
+        line(flag, true, help);
+    }
+    for (flag, help) in extras.bool_flags {
+        line(flag, false, help);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn positionals_flags_and_extras() {
+        let extras = Extras {
+            value_flags: &[("--svg", "svg path")],
+            bool_flags: &[("--csv", "emit csv")],
+        };
+        let p = parse(
+            &argv(&["fig9", "--scale", "0.3", "--audit", "--svg", "x.svg", "--csv"]),
+            extras,
+        )
+        .unwrap();
+        assert_eq!(p.positionals, vec!["fig9"]);
+        assert_eq!(p.sets.len(), 2);
+        assert_eq!(p.extra("--svg"), Some("x.svg"));
+        assert!(p.has_extra("--csv"));
+    }
+
+    #[test]
+    fn unknown_flag_is_fatal() {
+        let e = parse(&argv(&["--bogus"]), Extras::default()).unwrap_err();
+        assert_eq!(e, CliError::UnknownFlag("--bogus".into()));
+    }
+
+    #[test]
+    fn malformed_value_names_the_flag() {
+        let e = parse(&argv(&["--scale", "fast"]), Extras::default()).unwrap_err();
+        match e {
+            CliError::BadValue { flag, .. } => assert_eq!(flag, "--scale"),
+            other => panic!("wrong error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_value_detected() {
+        let e = parse(&argv(&["--threads"]), Extras::default()).unwrap_err();
+        assert_eq!(e, CliError::MissingValue("--threads".into()));
+        let e = parse(&argv(&["--threads", "--audit"]), Extras::default()).unwrap_err();
+        assert_eq!(e, CliError::MissingValue("--threads".into()));
+    }
+
+    #[test]
+    fn negative_numbers_are_values_not_flags() {
+        // A leading dash followed by a digit is a (possibly invalid)
+        // value, reported as such rather than as an unknown flag.
+        let e = parse(&argv(&["--threads", "-3"]), Extras::default()).unwrap_err();
+        match e {
+            CliError::BadValue { flag, .. } => assert_eq!(flag, "--threads"),
+            other => panic!("wrong error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn help_flag() {
+        assert_eq!(parse(&argv(&["-h"]), Extras::default()).unwrap_err(), CliError::Help);
+        assert!(flag_help(Extras::default()).contains("--no-activity-gate"));
+    }
+}

@@ -1,0 +1,469 @@
+//! The typed experiment specification and its field registry.
+//!
+//! [`ExperimentSpec`] is the single description of *how* an experiment
+//! runs: every knob of the full-system simulator (`SystemConfig`), the
+//! invariant auditor (`AuditConfig`), the worker pool, and the
+//! workload scaling/seeding that the binaries used to pass around as
+//! ad-hoc flags and process-global environment variables. What it does
+//! **not** pick is the scenario itself — that is a positional argument
+//! of the driver — or per-scenario structural choices (which mesh sizes
+//! fig12 sweeps, which schemes fig9 compares), which stay in scenario
+//! code.
+//!
+//! Every field is registered in [`fields`], which gives the resolver
+//! ([`crate::resolve`]), the CLI parser ([`crate::cli`]) and the usage
+//! text a single source of truth: one spec-file key, one `EQUINOX_*`
+//! environment variable, and one `--flag` per field, all applied
+//! through the same setter with per-field provenance recorded.
+
+use crate::json::Json;
+
+/// Where the winning value of a field came from (last writer wins
+/// across the resolution layers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Layer {
+    /// Built-in default.
+    Default,
+    /// The optional spec file (`--spec file.json`).
+    File,
+    /// An `EQUINOX_*` environment variable.
+    Env,
+    /// A command-line flag.
+    Cli,
+}
+
+impl Layer {
+    /// Lower-case name used in emitted provenance JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            Layer::Default => "default",
+            Layer::File => "file",
+            Layer::Env => "env",
+            Layer::Cli => "cli",
+        }
+    }
+}
+
+/// The resolved experiment description. Field defaults mirror the
+/// paper's Table 1 (via `SystemConfig::new`) and the binaries'
+/// historical flag defaults.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentSpec {
+    /// Mesh size (8, 12 or 16 in the paper).
+    pub n: u16,
+    /// Number of cache banks (Table 1: 8).
+    pub n_cbs: u16,
+    /// Multiplier on the per-PE instruction quota.
+    pub scale: f64,
+    /// Seeds averaged over by seed-sweeping runners.
+    pub seeds: Vec<u64>,
+    /// Primary seed for single-seeded work (design search).
+    pub seed: u64,
+    /// Run all 29 benchmarks instead of the quick 6-benchmark subset.
+    pub full: bool,
+    /// Reduced-repetition mode for the perf scenario.
+    pub quick: bool,
+    /// Worker-pool threads; 0 = auto (available parallelism).
+    pub threads: usize,
+    /// Safety cap on simulated cycles per run.
+    pub max_cycles: u64,
+    /// NI message-queue capacity.
+    pub ni_queue_cap: usize,
+    /// Maximum requests concurrently inside one CB.
+    pub cb_inflight_cap: usize,
+    /// L2 hit latency in cycles.
+    pub l2_latency: u64,
+    /// Extra router pipeline stages (0 = single-cycle router).
+    pub pipeline_extra: u32,
+    /// Probability a read reply travels compressed (0 disables).
+    pub reply_compression: f64,
+    /// Activity-driven stepping (bit-identical fast path); the inverse
+    /// of the `--no-activity-gate` escape hatch.
+    pub activity_gate: bool,
+    /// Arm the invariant auditor.
+    pub audit: bool,
+    /// Cycles between auditor conservation sweeps.
+    pub audit_check_interval: u64,
+    /// Auditor zero-progress window before declaring deadlock
+    /// (0 disables the watchdog).
+    pub audit_watchdog_window: u64,
+    /// Panic on the first auditor violation (else accumulate findings).
+    pub audit_panic: bool,
+    /// Measured cycles per load–latency point (loadlat scenario).
+    pub cycles: u64,
+    /// MCTS iterations for design searches driven by the spec
+    /// (designer/loadlat scenarios).
+    pub iters: usize,
+    provenance: Vec<Layer>,
+}
+
+impl Default for ExperimentSpec {
+    fn default() -> Self {
+        ExperimentSpec {
+            n: 8,
+            n_cbs: 8,
+            scale: 0.5,
+            seeds: vec![42, 7],
+            seed: 7,
+            full: false,
+            quick: false,
+            threads: 0,
+            max_cycles: 2_000_000,
+            ni_queue_cap: 8,
+            cb_inflight_cap: 128,
+            l2_latency: 20,
+            pipeline_extra: 0,
+            reply_compression: 0.0,
+            activity_gate: true,
+            audit: false,
+            audit_check_interval: 64,
+            audit_watchdog_window: 20_000,
+            audit_panic: true,
+            cycles: 6_000,
+            iters: 4_000,
+            provenance: vec![Layer::Default; fields().len()],
+        }
+    }
+}
+
+impl ExperimentSpec {
+    /// Provenance of the field registered at `index` in [`fields`].
+    pub fn provenance(&self, index: usize) -> Layer {
+        self.provenance[index]
+    }
+
+    /// Provenance of the named field, if registered.
+    pub fn provenance_of(&self, name: &str) -> Option<Layer> {
+        fields()
+            .iter()
+            .position(|f| f.name == name)
+            .map(|i| self.provenance[i])
+    }
+
+    /// Applies one field from a string (env var or CLI value) and
+    /// records `layer` as its provenance.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the malformed value (the caller
+    /// prefixes the flag/variable name).
+    pub fn set_str(&mut self, field: &FieldDef, value: &str, layer: Layer) -> Result<(), String> {
+        (field.set_str)(self, value)?;
+        self.note(field.name, layer);
+        Ok(())
+    }
+
+    /// Applies one field from a spec-file JSON value.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the type/range mismatch.
+    pub fn set_json(&mut self, field: &FieldDef, value: &Json, layer: Layer) -> Result<(), String> {
+        (field.set_json)(self, value)?;
+        self.note(field.name, layer);
+        Ok(())
+    }
+
+    fn note(&mut self, name: &str, layer: Layer) {
+        let i = fields()
+            .iter()
+            .position(|f| f.name == name)
+            .expect("registered field");
+        self.provenance[i] = layer;
+    }
+
+    /// The full spec as JSON: every field's resolved value plus a
+    /// `provenance` object mapping field name → winning layer. This is
+    /// embedded in every emitted artifact so results are
+    /// self-describing.
+    pub fn to_json(&self) -> Json {
+        let mut spec = Json::obj();
+        let mut prov = Json::obj();
+        for (i, f) in fields().iter().enumerate() {
+            spec = spec.with(f.name, (f.get_json)(self));
+            prov = prov.with(f.name, self.provenance[i].name());
+        }
+        spec.with("provenance", prov)
+    }
+}
+
+/// One registered spec field: its spec-file key (`name`), CLI flag,
+/// environment variable, and typed setters/getter.
+#[derive(Debug)]
+pub struct FieldDef {
+    /// Spec-file key and provenance name.
+    pub name: &'static str,
+    /// CLI flag (`--scale`).
+    pub flag: &'static str,
+    /// Environment variable (`EQUINOX_SCALE`).
+    pub env: &'static str,
+    /// `false` for presence-only boolean flags (`--audit`).
+    pub takes_value: bool,
+    /// One-line help for the usage text.
+    pub help: &'static str,
+    set_str: fn(&mut ExperimentSpec, &str) -> Result<(), String>,
+    set_json: fn(&mut ExperimentSpec, &Json) -> Result<(), String>,
+    get_json: fn(&ExperimentSpec) -> Json,
+}
+
+fn parse_num<T: std::str::FromStr>(kind: &str, v: &str) -> Result<T, String> {
+    v.trim()
+        .parse::<T>()
+        .map_err(|_| format!("expected {kind}, got '{v}'"))
+}
+
+/// Truthy strings: `1`, `true`, `on`, `yes` (case-insensitive);
+/// falsy: empty, `0`, `false`, `off`, `no`. Anything else is an error
+/// (unlike the legacy env readers, which treated typos as "on").
+fn parse_bool(v: &str) -> Result<bool, String> {
+    let t = v.trim().to_ascii_lowercase();
+    match t.as_str() {
+        "1" | "true" | "on" | "yes" => Ok(true),
+        "" | "0" | "false" | "off" | "no" => Ok(false),
+        _ => Err(format!("expected a boolean (1/0/true/false/on/off), got '{v}'")),
+    }
+}
+
+fn json_u64(v: &Json) -> Result<u64, String> {
+    v.as_u64()
+        .ok_or_else(|| format!("expected a non-negative integer, got {}", v.to_compact()))
+}
+
+fn json_f64(v: &Json) -> Result<f64, String> {
+    v.as_f64()
+        .ok_or_else(|| format!("expected a number, got {}", v.to_compact()))
+}
+
+fn json_bool(v: &Json) -> Result<bool, String> {
+    v.as_bool()
+        .ok_or_else(|| format!("expected a boolean, got {}", v.to_compact()))
+}
+
+/// Shorthand for the repetitive numeric/bool field definitions.
+macro_rules! field {
+    // Unsigned-integer-like field.
+    (uint $name:literal, $flag:literal, $env:literal, $field:ident : $ty:ty, $help:literal) => {
+        FieldDef {
+            name: $name,
+            flag: $flag,
+            env: $env,
+            takes_value: true,
+            help: $help,
+            set_str: |s, v| {
+                s.$field = parse_num::<$ty>("a non-negative integer", v)?;
+                Ok(())
+            },
+            set_json: |s, v| {
+                s.$field = <$ty>::try_from(json_u64(v)?)
+                    .map_err(|_| format!("value out of range for {}", $name))?;
+                Ok(())
+            },
+            get_json: |s| Json::Num(s.$field as f64),
+        }
+    };
+    // Float field.
+    (float $name:literal, $flag:literal, $env:literal, $field:ident, $help:literal) => {
+        FieldDef {
+            name: $name,
+            flag: $flag,
+            env: $env,
+            takes_value: true,
+            help: $help,
+            set_str: |s, v| {
+                s.$field = parse_num::<f64>("a number", v)?;
+                Ok(())
+            },
+            set_json: |s, v| {
+                s.$field = json_f64(v)?;
+                Ok(())
+            },
+            get_json: |s| Json::Num(s.$field),
+        }
+    };
+    // Plain boolean field set *true* by flag presence.
+    (flag $name:literal, $flag:literal, $env:literal, $field:ident, $help:literal) => {
+        FieldDef {
+            name: $name,
+            flag: $flag,
+            env: $env,
+            takes_value: false,
+            help: $help,
+            set_str: |s, v| {
+                s.$field = parse_bool(v)?;
+                Ok(())
+            },
+            set_json: |s, v| {
+                s.$field = json_bool(v)?;
+                Ok(())
+            },
+            get_json: |s| Json::Bool(s.$field),
+        }
+    };
+}
+
+/// The field registry: one entry per [`ExperimentSpec`] field, in
+/// emission order.
+pub fn fields() -> &'static [FieldDef] {
+    static FIELDS: &[FieldDef] = &[
+        field!(uint "n", "--n", "EQUINOX_N", n: u16, "mesh size (NxN routers)"),
+        field!(uint "n_cbs", "--cbs", "EQUINOX_CBS", n_cbs: u16, "number of cache banks"),
+        field!(float "scale", "--scale", "EQUINOX_SCALE", scale, "per-PE instruction quota multiplier"),
+        FieldDef {
+            name: "seeds",
+            flag: "--seeds",
+            env: "EQUINOX_SEEDS",
+            takes_value: true,
+            help: "comma-separated seed list for seed-averaged runs",
+            set_str: |s, v| {
+                let seeds: Result<Vec<u64>, String> = v
+                    .split(',')
+                    .map(|p| parse_num::<u64>("a seed (u64)", p))
+                    .collect();
+                let seeds = seeds?;
+                if seeds.is_empty() {
+                    return Err("need at least one seed".into());
+                }
+                s.seeds = seeds;
+                Ok(())
+            },
+            set_json: |s, v| {
+                let arr = v
+                    .as_arr()
+                    .ok_or_else(|| format!("expected an array of seeds, got {}", v.to_compact()))?;
+                let seeds: Result<Vec<u64>, String> = arr.iter().map(json_u64).collect();
+                let seeds = seeds?;
+                if seeds.is_empty() {
+                    return Err("need at least one seed".into());
+                }
+                s.seeds = seeds;
+                Ok(())
+            },
+            get_json: |s| Json::Arr(s.seeds.iter().map(|&x| Json::Num(x as f64)).collect()),
+        },
+        field!(uint "seed", "--seed", "EQUINOX_SEED", seed: u64, "primary seed (design search)"),
+        field!(flag "full", "--full", "EQUINOX_FULL", full, "run all 29 benchmarks (default: quick subset)"),
+        field!(flag "quick", "--quick", "EQUINOX_QUICK", quick, "single-repetition perf measurements"),
+        field!(uint "threads", "--threads", "EQUINOX_THREADS", threads: usize, "worker-pool threads (0 = auto)"),
+        field!(uint "max_cycles", "--max-cycles", "EQUINOX_MAX_CYCLES", max_cycles: u64, "safety cap on simulated cycles"),
+        field!(uint "ni_queue_cap", "--ni-queue-cap", "EQUINOX_NI_QUEUE_CAP", ni_queue_cap: usize, "NI message-queue capacity"),
+        field!(uint "cb_inflight_cap", "--cb-inflight-cap", "EQUINOX_CB_INFLIGHT_CAP", cb_inflight_cap: usize, "max requests inside one CB"),
+        field!(uint "l2_latency", "--l2-latency", "EQUINOX_L2_LATENCY", l2_latency: u64, "L2 hit latency in cycles"),
+        field!(uint "pipeline_extra", "--pipeline-extra", "EQUINOX_PIPELINE_EXTRA", pipeline_extra: u32, "extra router pipeline stages"),
+        field!(float "reply_compression", "--reply-compression", "EQUINOX_REPLY_COMPRESSION", reply_compression, "read-reply compression probability"),
+        FieldDef {
+            name: "activity_gate",
+            flag: "--no-activity-gate",
+            env: "EQUINOX_NO_ACTIVITY_GATE",
+            takes_value: false,
+            help: "fall back to exhaustive every-router-every-cycle stepping",
+            // Flag/env polarity is inverted for compatibility with the
+            // historical escape hatch: the flag's presence (or a truthy
+            // EQUINOX_NO_ACTIVITY_GATE) *disables* the gate. The spec
+            // file uses the direct form: "activity_gate": false.
+            set_str: |s, v| {
+                s.activity_gate = !parse_bool(v)?;
+                Ok(())
+            },
+            set_json: |s, v| {
+                s.activity_gate = json_bool(v)?;
+                Ok(())
+            },
+            get_json: |s| Json::Bool(s.activity_gate),
+        },
+        field!(flag "audit", "--audit", "EQUINOX_AUDIT", audit, "arm the invariant auditor"),
+        field!(uint "audit_check_interval", "--audit-check-interval", "EQUINOX_AUDIT_CHECK_INTERVAL", audit_check_interval: u64, "cycles between auditor sweeps"),
+        field!(uint "audit_watchdog_window", "--audit-watchdog", "EQUINOX_AUDIT_WATCHDOG", audit_watchdog_window: u64, "auditor deadlock window (0 = off)"),
+        field!(flag "audit_panic", "--audit-panic", "EQUINOX_AUDIT_PANIC", audit_panic, "panic on the first auditor violation"),
+        field!(uint "cycles", "--cycles", "EQUINOX_CYCLES", cycles: u64, "measured cycles per load-latency point"),
+        field!(uint "iters", "--iters", "EQUINOX_ITERS", iters: usize, "MCTS iterations for spec-driven design searches"),
+    ];
+    FIELDS
+}
+
+/// Looks a field up by its CLI flag.
+pub fn field_by_flag(flag: &str) -> Option<&'static FieldDef> {
+    fields().iter().find(|f| f.flag == flag)
+}
+
+/// Looks a field up by its spec-file key.
+pub fn field_by_name(name: &str) -> Option<&'static FieldDef> {
+    fields().iter().find(|f| f.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_is_consistent() {
+        let fs = fields();
+        let spec = ExperimentSpec::default();
+        assert_eq!(spec.provenance.len(), fs.len());
+        for f in fs {
+            assert!(f.flag.starts_with("--"), "{} flag malformed", f.name);
+            assert!(f.env.starts_with("EQUINOX_"), "{} env malformed", f.name);
+        }
+        // Names, flags and env vars are all unique.
+        for key in [0usize, 1, 2] {
+            let mut seen: Vec<&str> = fs
+                .iter()
+                .map(|f| [f.name, f.flag, f.env][key])
+                .collect();
+            seen.sort_unstable();
+            seen.dedup();
+            assert_eq!(seen.len(), fs.len(), "duplicate key kind {key}");
+        }
+    }
+
+    #[test]
+    fn set_str_and_provenance() {
+        let mut s = ExperimentSpec::default();
+        let f = field_by_flag("--scale").unwrap();
+        s.set_str(f, "0.25", Layer::Cli).unwrap();
+        assert_eq!(s.scale, 0.25);
+        assert_eq!(s.provenance_of("scale"), Some(Layer::Cli));
+        assert_eq!(s.provenance_of("n"), Some(Layer::Default));
+        assert!(s.set_str(f, "abc", Layer::Cli).is_err());
+    }
+
+    #[test]
+    fn activity_gate_polarity() {
+        let mut s = ExperimentSpec::default();
+        let f = field_by_name("activity_gate").unwrap();
+        // Env/flag form is inverted ("no-activity-gate"):
+        s.set_str(f, "1", Layer::Env).unwrap();
+        assert!(!s.activity_gate);
+        // Spec-file form is direct:
+        s.set_json(f, &Json::Bool(true), Layer::File).unwrap();
+        assert!(s.activity_gate);
+    }
+
+    #[test]
+    fn seeds_parse_both_ways() {
+        let mut s = ExperimentSpec::default();
+        let f = field_by_name("seeds").unwrap();
+        s.set_str(f, "1,2,3", Layer::Cli).unwrap();
+        assert_eq!(s.seeds, vec![1, 2, 3]);
+        s.set_json(
+            f,
+            &crate::json::parse("[9, 8]").unwrap(),
+            Layer::File,
+        )
+        .unwrap();
+        assert_eq!(s.seeds, vec![9, 8]);
+        assert!(s.set_str(f, "", Layer::Cli).is_err());
+        assert!(s.set_json(f, &Json::Arr(vec![]), Layer::File).is_err());
+    }
+
+    #[test]
+    fn to_json_embeds_provenance() {
+        let mut s = ExperimentSpec::default();
+        let f = field_by_flag("--audit").unwrap();
+        s.set_str(f, "1", Layer::Env).unwrap();
+        let j = s.to_json();
+        assert_eq!(j.get("audit"), Some(&Json::Bool(true)));
+        let prov = j.get("provenance").unwrap();
+        assert_eq!(prov.get("audit").and_then(Json::as_str), Some("env"));
+        assert_eq!(prov.get("scale").and_then(Json::as_str), Some("default"));
+    }
+}

@@ -47,6 +47,11 @@ pub enum ReplySide {
 /// every point is a pure function of `(rate, seed)`, so the curve is
 /// identical for any worker count. Deterministic in `seed`.
 ///
+/// Legacy entry point: auditing and activity gating come from the
+/// `EQUINOX_AUDIT` / `EQUINOX_NO_ACTIVITY_GATE` environment shims. The
+/// drivers call [`load_latency_curve_cfg`] with values from the resolved
+/// experiment spec instead.
+///
 /// # Panics
 ///
 /// Panics if `placement` is not square or an offered rate is not in
@@ -58,12 +63,42 @@ pub fn load_latency_curve(
     cycles: u64,
     seed: u64,
 ) -> Vec<LoadPoint> {
+    load_latency_curve_cfg(
+        placement,
+        side,
+        offered,
+        cycles,
+        seed,
+        equinox_noc::audit_from_env(),
+        equinox_noc::config::activity_gate_from_env(),
+    )
+}
+
+/// [`load_latency_curve`] with auditing and activity gating passed
+/// explicitly instead of read from the process environment. The chosen
+/// values ride into every fanned-out worker by value, so the curve is
+/// independent of worker-thread environment state.
+///
+/// # Panics
+///
+/// Panics if `placement` is not square or an offered rate is not in
+/// `(0, 1]`.
+#[allow(clippy::too_many_arguments)]
+pub fn load_latency_curve_cfg(
+    placement: &Placement,
+    side: &ReplySide,
+    offered: &[f64],
+    cycles: u64,
+    seed: u64,
+    audit: Option<equinox_noc::AuditConfig>,
+    activity_gate: bool,
+) -> Vec<LoadPoint> {
     assert_eq!(placement.width, placement.height, "square meshes only");
     for &rate in offered {
         assert!(rate > 0.0 && rate <= 1.0, "offered rate {rate} out of (0,1]");
     }
     equinox_exec::par_map(offered.to_vec(), |_, rate| {
-        measure(placement, side, rate, cycles, seed)
+        measure(placement, side, rate, cycles, seed, audit.clone(), activity_gate)
     })
 }
 
@@ -73,12 +108,14 @@ fn measure(
     offered: f64,
     cycles: u64,
     seed: u64,
+    audit: Option<equinox_noc::AuditConfig>,
+    activity_gate: bool,
 ) -> LoadPoint {
     let n = placement.width;
-    let mut net = Network::mesh(NocConfig::mesh(n));
-    // Worker threads inherit the process environment, so `--audit` on the
-    // sweep binaries reaches every fanned-out point.
-    if let Some(acfg) = equinox_noc::audit_from_env() {
+    let mut cfg = NocConfig::mesh(n);
+    cfg.activity_gate = activity_gate;
+    let mut net = Network::mesh(cfg);
+    if let Some(acfg) = audit {
         net.enable_audit(acfg);
     }
     let mut tracker = PacketTracker::new();

@@ -53,23 +53,24 @@ pub struct SystemConfig {
     /// Probability a read reply travels compressed (the §7 coalescing
     /// extension; 0 disables it).
     pub reply_compression: f64,
-    /// Invariant-auditor configuration. Defaults from the `EQUINOX_AUDIT`
-    /// environment variable (which the repro binaries' `--audit` flag
-    /// sets), so worker-pool threads inherit the choice; `None` disables
-    /// all audit work.
+    /// Invariant-auditor configuration. `None` (the default) disables all
+    /// audit work; the drivers fill it in from the resolved
+    /// [`ExperimentSpec`](equinox_config::ExperimentSpec) (the spec's
+    /// environment layer is what gives `EQUINOX_AUDIT` its effect).
     pub audit: Option<equinox_noc::AuditConfig>,
     /// Activity-driven stepping: gate each network's sweep to its active
     /// routers/links, and fast-forward the whole machine across
     /// quiescent stretches (PEs blocked on MSHRs while HBM timing runs
-    /// down). Bit-identical to exhaustive stepping by construction;
-    /// defaults from the `EQUINOX_NO_ACTIVITY_GATE` environment variable
-    /// (the binaries' `--no-activity-gate` escape hatch sets it), so
-    /// worker-pool threads inherit the choice.
+    /// down). Bit-identical to exhaustive stepping by construction, so it
+    /// defaults on; the spec's `--no-activity-gate` /
+    /// `EQUINOX_NO_ACTIVITY_GATE` escape hatch turns it off.
     pub activity_gate: bool,
 }
 
 impl SystemConfig {
-    /// Defaults from Table 1.
+    /// Defaults from Table 1. No environment variables are consulted:
+    /// auditing is off and activity gating on until a resolved spec (or
+    /// the caller) says otherwise.
     pub fn new(scheme: SchemeKind, n: u16, workload: Workload) -> Self {
         SystemConfig {
             scheme,
@@ -85,9 +86,44 @@ impl SystemConfig {
             hbm: HbmConfig::hbm2(),
             pipeline_extra: 0,
             reply_compression: 0.0,
-            audit: equinox_noc::audit_from_env(),
-            activity_gate: equinox_noc::activity_gate_from_env(),
+            audit: None,
+            activity_gate: true,
         }
+    }
+
+    /// Table 1 defaults overlaid with everything a resolved
+    /// [`ExperimentSpec`](equinox_config::ExperimentSpec) dictates.
+    ///
+    /// The spec's `n` is *not* applied here — scenarios sweep mesh sizes
+    /// explicitly — which is why the mesh size stays a parameter.
+    pub fn from_spec(
+        scheme: SchemeKind,
+        n: u16,
+        workload: Workload,
+        spec: &equinox_config::ExperimentSpec,
+    ) -> Self {
+        let mut cfg = Self::new(scheme, n, workload);
+        cfg.apply_spec(spec);
+        cfg
+    }
+
+    /// Overwrites every field the spec covers (capacities, latencies,
+    /// auditing, activity gating); structural choices (`scheme`, `n`,
+    /// `workload`, `design`, `placement_override`, `hbm`) are untouched.
+    pub fn apply_spec(&mut self, spec: &equinox_config::ExperimentSpec) {
+        self.n_cbs = spec.n_cbs;
+        self.max_cycles = spec.max_cycles;
+        self.ni_queue_cap = spec.ni_queue_cap;
+        self.cb_inflight_cap = spec.cb_inflight_cap;
+        self.l2_latency = spec.l2_latency;
+        self.pipeline_extra = spec.pipeline_extra;
+        self.reply_compression = spec.reply_compression;
+        self.activity_gate = spec.activity_gate;
+        self.audit = spec.audit.then_some(equinox_noc::AuditConfig {
+            check_interval: spec.audit_check_interval,
+            watchdog_window: spec.audit_watchdog_window,
+            panic_on_violation: spec.audit_panic,
+        });
     }
 }
 

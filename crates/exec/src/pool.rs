@@ -30,6 +30,12 @@ pub fn set_threads(n: usize) {
 /// Worker count used by [`par_map`]: the [`set_threads`] override if
 /// set, else `EQUINOX_THREADS` from the environment, else
 /// `std::thread::available_parallelism()`.
+///
+/// The environment read is a fallback-only shim: the binaries resolve
+/// `threads` through the layered `equinox_config` spec (whose env layer
+/// covers `EQUINOX_THREADS`) and call [`set_threads`] explicitly, so
+/// the variable only matters for embedders that never configure the
+/// pool.
 pub fn thread_count() -> usize {
     let over = THREAD_OVERRIDE.load(Ordering::Relaxed);
     if over > 0 {

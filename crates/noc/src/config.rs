@@ -111,10 +111,12 @@ pub struct NocConfig {
 
 /// `true` unless `EQUINOX_NO_ACTIVITY_GATE` is set to a truthy value.
 ///
-/// Mirrors [`crate::audit::audit_from_env`]: worker threads inherit the
-/// environment, so a process-wide opt-out stays consistent across the
-/// parallel sweep pool. Unset, empty, `0`, `false` and `off` keep the
-/// gate enabled.
+/// **Fallback-only shim.** Configuration normally arrives explicitly via
+/// `equinox_config::ExperimentSpec` (which folds this variable into its
+/// environment layer); nothing in the library reads the environment on
+/// its own anymore. This reader remains for ad-hoc embedders that build
+/// `NocConfig`s directly and still want the process-wide escape hatch.
+/// Unset, empty, `0`, `false` and `off` keep the gate enabled.
 pub fn activity_gate_from_env() -> bool {
     match std::env::var("EQUINOX_NO_ACTIVITY_GATE") {
         Ok(v) => {
@@ -141,12 +143,11 @@ impl NocConfig {
             freq_ghz: 1.126,
             pipeline_extra: 0,
             eject_cap: 16,
-            // From the environment (like `audit_from_env`), so drivers
-            // that build `NocConfig`s directly — load-latency curves,
-            // property tests — honor the process-wide
-            // `--no-activity-gate` escape hatch too. `SystemConfig`
-            // still overrides this explicitly for full-system runs.
-            activity_gate: activity_gate_from_env(),
+            // Gating is bit-identical to the exhaustive sweep, so the
+            // default is unconditionally on; callers that want the
+            // cross-checking escape hatch set this explicitly (the
+            // drivers plumb it down from the resolved experiment spec).
+            activity_gate: true,
         }
     }
 

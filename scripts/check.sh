@@ -12,6 +12,17 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "== env-mutation guard =="
+# Configuration flows by value through the equinox-config spec; nothing
+# outside test code may mutate the process environment. (Tests may — the
+# env fallback shims need coverage.)
+if grep -rn "set_var(" --include='*.rs' crates/*/src src examples 2>/dev/null \
+    | grep -vE ':[0-9]+: *(//|\*)'; then
+  echo "FAIL: std::env::set_var outside tests — thread configuration through ExperimentSpec instead" >&2
+  exit 1
+fi
+echo "OK: no set_var outside tests"
+
 echo "== build (release) =="
 cargo build --release --workspace
 

@@ -16,6 +16,7 @@
 //! * [`bench`] — experiment runners behind the repro binaries
 
 pub use equinox_bench as bench;
+pub use equinox_config as config;
 pub use equinox_core as core;
 pub use equinox_exec as exec;
 pub use equinox_hbm as hbm;

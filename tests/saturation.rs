@@ -3,7 +3,7 @@
 //! the numbers from which every full-system result follows, so they are
 //! pinned here as a regression fence.
 
-use equinox_suite::core::loadlat::{load_latency_curve, ReplySide};
+use equinox_suite::core::loadlat::{load_latency_curve, load_latency_curve_cfg, ReplySide};
 use equinox_suite::core::EquiNoxDesign;
 use equinox_suite::placement::Placement;
 
@@ -40,16 +40,24 @@ fn equinox_at_least_doubles_reply_injection_bandwidth() {
 
 #[test]
 fn audited_load_point_matches_unaudited_point() {
-    // `EQUINOX_AUDIT` is what the sweep binary's `--audit` flag sets; the
-    // worker threads read it per measured point. The audited curve must
-    // be bit-identical — the sweeps are read-only — and violation-free
-    // (the default config panics on the first one).
+    // The drivers pass auditing down by value from the resolved spec
+    // (`--audit`). The audited curve must be bit-identical — the audit
+    // sweeps are read-only — and violation-free (the default config
+    // panics on the first one). Gating off must be bit-identical too.
     let p = Placement::diamond(8, 8, 8);
     let plain = load_latency_curve(&p, &ReplySide::Local, &[0.3], 2_000, 5);
-    std::env::set_var("EQUINOX_AUDIT", "1");
-    let audited = load_latency_curve(&p, &ReplySide::Local, &[0.3], 2_000, 5);
-    std::env::remove_var("EQUINOX_AUDIT");
+    let audited = load_latency_curve_cfg(
+        &p,
+        &ReplySide::Local,
+        &[0.3],
+        2_000,
+        5,
+        Some(equinox_suite::noc::AuditConfig::default()),
+        true,
+    );
+    let ungated = load_latency_curve_cfg(&p, &ReplySide::Local, &[0.3], 2_000, 5, None, false);
     assert_eq!(plain, audited, "auditor must not perturb the measurement");
+    assert_eq!(plain, ungated, "activity gating must be bit-identical");
 }
 
 #[test]
