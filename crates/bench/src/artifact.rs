@@ -18,6 +18,14 @@
 //!   counts by link kind, injected/ejected totals.
 //! * `equinox.load_point/v1` — one load–latency measurement
 //!   ([`LoadPoint`]): offered rate, accepted throughput, mean latency.
+//! * `equinox.obs/v1` — the observability block of an obs-armed run
+//!   (emitted by the `observe` scenario via
+//!   [`System::obs_json`](equinox_core::System::obs_json)): counters,
+//!   latency histograms with interpolated p50/p95/p99, the interval
+//!   time series, per-router heat grids and per-link flit counts. The
+//!   block is cycle-derived only, so it is bit-identical across
+//!   `EQUINOX_THREADS` settings; wall-clock span timings go to the
+//!   separate `--trace-out` Chrome trace file instead.
 //!
 //! The emitted spec block round-trips: feeding an artifact's `spec`
 //! object back via `--spec` reproduces the run's configuration (the
@@ -122,6 +130,28 @@ mod tests {
             a.get("results").and_then(|r| r.get("ok")).and_then(Json::as_bool),
             Some(true)
         );
+    }
+
+    #[test]
+    fn obs_block_round_trips_through_the_parser() {
+        use equinox_core::{ObsConfig, System, SystemConfig};
+        use equinox_traffic::{profile::benchmark, Workload};
+        let workload = Workload::new(benchmark("gaussian").unwrap(), 0.02, 1);
+        let mut cfg = SystemConfig::new(SchemeKind::SeparateBase, 8, workload);
+        cfg.max_cycles = 100_000;
+        cfg.obs = Some(ObsConfig { interval: 500, ..Default::default() });
+        let mut sys = System::build(cfg);
+        let m = sys.run();
+        assert!(m.completed);
+        let obs = sys.obs_json().expect("obs was armed");
+        assert_eq!(obs.get("schema").and_then(Json::as_str), Some("equinox.obs/v1"));
+        assert!(obs.get("histograms").and_then(|h| h.get("rep_latency_cycles")).is_some());
+        // The block embeds into the artifact envelope and survives a
+        // write → parse round trip bit-for-bit.
+        let spec = ExperimentSpec::default();
+        let a = artifact("observe", &spec, Json::obj().with("obs", obs));
+        let parsed = equinox_config::parse_json(&a.pretty()).unwrap();
+        assert_eq!(parsed, a);
     }
 
     #[test]

@@ -17,7 +17,7 @@ use equinox_config::{ExperimentSpec, Json};
 use equinox_core::heatmap::placement_heatmap;
 use equinox_core::loadlat::{load_latency_curve_cfg, ReplySide};
 use equinox_core::svg::{design_svg, heatmap_svg};
-use equinox_core::{EquiNoxDesign, RunMetrics, SchemeKind, System, SystemConfig};
+use equinox_core::{EquiNoxDesign, ObsConfig, RunMetrics, SchemeKind, System, SystemConfig};
 use equinox_mcts::eval::{evaluate, EvalWeights};
 use equinox_mcts::problem::EirProblem;
 use equinox_mcts::tree::{search, MctsConfig};
@@ -60,6 +60,7 @@ pub fn scenarios() -> &'static [Scenario] {
         Scenario { name: "sweep", about: "Full scheme x benchmark matrix as raw run metrics", run: sweep },
         Scenario { name: "loadlat", about: "Reply-network load-latency curves (baseline vs EquiNox)", run: loadlat },
         Scenario { name: "perf", about: "Micro-benchmark the simulation substrate", run: perf },
+        Scenario { name: "observe", about: "Instrumented EquiNox run: obs/v1 metrics block + Chrome trace", run: observe },
         Scenario { name: "designer", about: "Search and export an EquiNox design", run: designer },
         Scenario { name: "all", about: "Every paper table and figure in sequence", run: all },
     ];
@@ -853,10 +854,61 @@ fn designer(spec: &ExperimentSpec, log: &mut dyn Write) -> Json {
 }
 
 /// Every paper table and figure in sequence (the repro default).
+fn observe(spec: &ExperimentSpec, log: &mut dyn Write) -> Json {
+    header(log, "Observability: metrics registry, time series, spans, flit trace");
+    let profile = equinox_traffic::profile::benchmark("bfs").expect("known");
+    let seed = spec.seeds[0];
+    let mut cfg = SystemConfig::from_spec(
+        SchemeKind::EquiNox,
+        8,
+        Workload::new(profile, spec.scale, seed),
+        spec,
+    );
+    cfg.design = Some(design_for(8));
+    // The scenario exists to exercise the observability layer, so it is
+    // armed even when the spec left `--obs` off; the spec's
+    // `--obs-interval` / `--trace` / `--trace-capacity` still apply.
+    if cfg.obs.is_none() {
+        cfg.obs = Some(ObsConfig {
+            interval: spec.obs_interval.max(1),
+            ..Default::default()
+        });
+    }
+    let mut sys = System::build(cfg);
+    let m = sys.run();
+    out!(
+        log,
+        "  EquiNox/bfs: {} cycles, {} packets delivered",
+        m.cycles,
+        sys.tracker.delivered()
+    );
+    let _ = log.write_all(sys.obs_summary().as_bytes());
+    for (i, hm) in sys.heat_maps().iter().enumerate() {
+        out!(log, "  net{i} heat variance {:.3}", hm.variance);
+    }
+    let obs = sys.obs_json().expect("observe arms the obs layer");
+    let mut j = Json::obj()
+        .with("metrics", run_metrics_json(&m))
+        .with("obs", obs);
+    // The Chrome export drains the flit rings, so it comes last. It is
+    // always assembled (spans alone make a useful timeline); the file is
+    // only written when the spec names a destination.
+    let doc = sys.export_chrome_trace();
+    let events = doc.matches("\"ph\": ").count();
+    out!(log, "  chrome trace: {events} events");
+    j = j.with("trace_events", events as u64);
+    if !spec.trace_out.is_empty() {
+        std::fs::write(&spec.trace_out, &doc).expect("write trace file");
+        out!(log, "  wrote {}", spec.trace_out);
+        j = j.with("trace_out", spec.trace_out.as_str());
+    }
+    j
+}
+
 fn all(spec: &ExperimentSpec, log: &mut dyn Write) -> Json {
     let mut j = Json::obj();
     for s in scenarios() {
-        if matches!(s.name, "all" | "sweep" | "loadlat" | "perf" | "designer") {
+        if matches!(s.name, "all" | "sweep" | "loadlat" | "perf" | "observe" | "designer") {
             continue;
         }
         j = j.with(s.name, (s.run)(spec, &mut *log));

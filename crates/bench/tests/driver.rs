@@ -105,6 +105,66 @@ fn spec_file_layer_reaches_the_artifact() {
 }
 
 #[test]
+fn observe_scenario_emits_obs_block_and_chrome_trace() {
+    let dir = std::env::temp_dir().join("equinox_driver_obs_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace_path = dir.join("trace.json");
+    let out = driver()
+        .args(["observe", "--scale", "0.05", "--obs", "--obs-interval", "500", "--trace"])
+        .arg("--trace-out")
+        .arg(&trace_path)
+        .output()
+        .expect("run driver");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+
+    // The artifact carries the obs/v1 block with series, percentile
+    // histograms and heat grids.
+    let artifact = parse_json(&String::from_utf8(out.stdout).unwrap()).expect("stdout is JSON");
+    let results = artifact.get("results").expect("results block");
+    let obs = results.get("obs").expect("obs block");
+    assert_eq!(obs.get("schema").and_then(Json::as_str), Some("equinox.obs/v1"));
+    assert_eq!(obs.get("interval").and_then(Json::as_u64), Some(500));
+    let series = obs.get("series").expect("series block");
+    let cycles = series.get("cycle").and_then(Json::as_arr).expect("cycle axis");
+    assert!(!cycles.is_empty(), "the run must have produced samples");
+    for col in ["throughput_flits_per_cycle", "packets_in_flight", "ff_cycles_skipped"] {
+        let vals = series.get(col).and_then(Json::as_arr).unwrap_or_else(|| panic!("series '{col}'"));
+        assert_eq!(vals.len(), cycles.len(), "'{col}' rows match the cycle axis");
+    }
+    let hist = obs
+        .get("histograms")
+        .and_then(|h| h.get("rep_latency_cycles"))
+        .expect("reply latency histogram");
+    assert!(hist.get("count").and_then(Json::as_u64).unwrap() > 0);
+    for q in ["p50", "p95", "p99"] {
+        let v = hist.get(q).and_then(Json::as_f64).unwrap_or_else(|| panic!("{q} present"));
+        assert!(v > 0.0, "{q} must be positive, got {v}");
+    }
+    let heat = obs.get("heat").and_then(Json::as_arr).expect("heat grids");
+    assert_eq!(heat.len(), 2, "EquiNox runs request + reply nets");
+    for hm in heat {
+        let w = hm.get("width").and_then(Json::as_u64).expect("width");
+        let grid = hm.get("heat").and_then(Json::as_arr).expect("grid");
+        assert_eq!(grid.len() as u64, w * w, "row-major width² grid");
+    }
+    // EquiNox arms EIR load series, one per CB group.
+    assert!(series.get("eir_load_cb0").is_some(), "EIR load series present");
+
+    // The trace file is valid Chrome trace-event JSON with both span
+    // (complete) and flit (instant) events.
+    let doc = std::fs::read_to_string(&trace_path).expect("trace file written");
+    let trace = parse_json(&doc).expect("trace parses as JSON");
+    let events = trace.get("traceEvents").and_then(Json::as_arr).expect("traceEvents");
+    let phases: Vec<&str> = events
+        .iter()
+        .filter_map(|e| e.get("ph").and_then(Json::as_str))
+        .collect();
+    assert!(phases.contains(&"X"), "wall-clock span events present");
+    assert!(phases.contains(&"i"), "flit instant events present");
+    assert!(phases.contains(&"M"), "process/thread metadata present");
+}
+
+#[test]
 fn run_metrics_emission_matches_golden_snapshot() {
     let m = equinox_bench::run_one(SchemeKind::SeparateBase, 8, "gaussian", 0.05, 1);
     let emitted = run_metrics_json(&m).pretty();

@@ -94,6 +94,18 @@ pub struct ExperimentSpec {
     /// MCTS iterations for design searches driven by the spec
     /// (designer/loadlat scenarios).
     pub iters: usize,
+    /// Arm the observability layer (metrics registry + time series +
+    /// span profiler) on every full-system run built from this spec.
+    pub obs: bool,
+    /// Cycles between observability time-series samples.
+    pub obs_interval: u64,
+    /// Record per-flit NoC trace events (Inject/Hop/Eject).
+    pub trace: bool,
+    /// Path for the Chrome trace-event JSON export (empty = don't
+    /// write a file; scenarios that honor tracing discard the trace).
+    pub trace_out: String,
+    /// Flit-trace ring capacity per network (oldest events drop).
+    pub trace_capacity: usize,
     provenance: Vec<Layer>,
 }
 
@@ -121,6 +133,11 @@ impl Default for ExperimentSpec {
             audit_panic: true,
             cycles: 6_000,
             iters: 4_000,
+            obs: false,
+            obs_interval: 1_000,
+            trace: false,
+            trace_out: String::new(),
+            trace_capacity: 65_536,
             provenance: vec![Layer::Default; fields().len()],
         }
     }
@@ -376,6 +393,29 @@ pub fn fields() -> &'static [FieldDef] {
         field!(flag "audit_panic", "--audit-panic", "EQUINOX_AUDIT_PANIC", audit_panic, "panic on the first auditor violation"),
         field!(uint "cycles", "--cycles", "EQUINOX_CYCLES", cycles: u64, "measured cycles per load-latency point"),
         field!(uint "iters", "--iters", "EQUINOX_ITERS", iters: usize, "MCTS iterations for spec-driven design searches"),
+        field!(flag "obs", "--obs", "EQUINOX_OBS", obs, "arm the observability layer (metrics + time series)"),
+        field!(uint "obs_interval", "--obs-interval", "EQUINOX_OBS_INTERVAL", obs_interval: u64, "cycles between observability samples"),
+        field!(flag "trace", "--trace", "EQUINOX_TRACE", trace, "record per-flit NoC trace events"),
+        FieldDef {
+            name: "trace_out",
+            flag: "--trace-out",
+            env: "EQUINOX_TRACE_OUT",
+            takes_value: true,
+            help: "write Chrome trace-event JSON to this path",
+            set_str: |s, v| {
+                s.trace_out = v.trim().to_string();
+                Ok(())
+            },
+            set_json: |s, v| {
+                s.trace_out = v
+                    .as_str()
+                    .ok_or_else(|| format!("expected a string path, got {}", v.to_compact()))?
+                    .to_string();
+                Ok(())
+            },
+            get_json: |s| Json::Str(s.trace_out.clone()),
+        },
+        field!(uint "trace_capacity", "--trace-capacity", "EQUINOX_TRACE_CAPACITY", trace_capacity: usize, "flit-trace ring capacity per network"),
     ];
     FIELDS
 }
@@ -453,6 +493,30 @@ mod tests {
         assert_eq!(s.seeds, vec![9, 8]);
         assert!(s.set_str(f, "", Layer::Cli).is_err());
         assert!(s.set_json(f, &Json::Arr(vec![]), Layer::File).is_err());
+    }
+
+    #[test]
+    fn obs_and_trace_fields_parse_both_ways() {
+        let mut s = ExperimentSpec::default();
+        assert!(!s.obs && !s.trace && s.trace_out.is_empty());
+        s.set_str(field_by_flag("--obs").unwrap(), "1", Layer::Cli).unwrap();
+        s.set_str(field_by_flag("--trace").unwrap(), "1", Layer::Cli).unwrap();
+        s.set_str(field_by_flag("--obs-interval").unwrap(), "250", Layer::Cli)
+            .unwrap();
+        s.set_str(field_by_flag("--trace-out").unwrap(), "/tmp/t.json", Layer::Cli)
+            .unwrap();
+        s.set_str(field_by_flag("--trace-capacity").unwrap(), "128", Layer::Cli)
+            .unwrap();
+        assert!(s.obs && s.trace);
+        assert_eq!(s.obs_interval, 250);
+        assert_eq!(s.trace_out, "/tmp/t.json");
+        assert_eq!(s.trace_capacity, 128);
+        // Spec-file forms.
+        let f = field_by_name("trace_out").unwrap();
+        s.set_json(f, &Json::Str("x.json".into()), Layer::File).unwrap();
+        assert_eq!(s.trace_out, "x.json");
+        assert!(s.set_json(f, &Json::Num(3.0), Layer::File).is_err());
+        assert_eq!(s.provenance_of("trace_out"), Some(Layer::File));
     }
 
     #[test]

@@ -26,6 +26,20 @@ pub struct HeatMap {
 }
 
 impl HeatMap {
+    /// The map as structured JSON for the `obs/v1` artifact block:
+    /// `{"width": W, "variance": V, "heat": [W*W values, row-major]}`.
+    /// The ASCII [`HeatMap::render`] stays for stderr reports.
+    pub fn to_json(&self) -> equinox_config::Json {
+        use equinox_config::Json;
+        Json::obj()
+            .with("width", self.width)
+            .with("variance", self.variance)
+            .with(
+                "heat",
+                self.heat.iter().map(|&v| Json::Num(v)).collect::<Vec<_>>(),
+            )
+    }
+
     /// Renders the map as an ASCII grid (one row per mesh row).
     pub fn render(&self) -> String {
         let mut out = String::new();
@@ -131,6 +145,22 @@ mod tests {
         let a = placement_heatmap(&p, 0.2, 1_000, 9);
         let b = placement_heatmap(&p, 0.2, 1_000, 9);
         assert_eq!(a.heat, b.heat);
+    }
+
+    #[test]
+    fn json_shape_matches_grid() {
+        let p = Placement::diamond(8, 8, 8);
+        let h = placement_heatmap(&p, 0.1, 500, 3);
+        let j = h.to_json();
+        assert_eq!(j.get("width").and_then(|v| v.as_u64()), Some(8));
+        let heat = j.get("heat").and_then(|v| v.as_arr()).expect("heat array");
+        assert_eq!(heat.len(), 64, "row-major width*width grid");
+        assert!(heat.iter().all(|v| v.as_f64().is_some()));
+        let var = j.get("variance").and_then(|v| v.as_f64()).expect("variance");
+        assert!((var - h.variance).abs() < 1e-12);
+        // The JSON block must round-trip through the artifact parser.
+        let parsed = equinox_config::parse_json(&j.pretty()).expect("valid JSON");
+        assert_eq!(parsed, j);
     }
 
     #[test]

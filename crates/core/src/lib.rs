@@ -19,6 +19,8 @@
 //! * [`system`] — scheme assembly and the cycle-level simulation loop;
 //! * [`metrics`], [`msg`] — execution/energy/EDP/latency metrics and
 //!   packet tracking;
+//! * [`obs`] — the system-side observability layer (metric registry,
+//!   time series, step-phase spans, Chrome trace assembly);
 //! * [`heatmap`] — the Figure 4 placement-congestion experiment;
 //! * [`loadlat`] — reply-network load–latency curves (where the
 //!   injection bottleneck saturates, and how far EIRs push the knee);
@@ -45,6 +47,7 @@ pub mod loadlat;
 pub mod metrics;
 pub mod msg;
 pub mod ni;
+pub mod obs;
 pub mod scheme;
 pub mod svg;
 pub mod system;
@@ -52,5 +55,6 @@ pub mod system;
 pub use design::EquiNoxDesign;
 pub use metrics::RunMetrics;
 pub use msg::{LatencyBreakdown, MemOpKind, Message, PacketTracker};
+pub use obs::ObsConfig;
 pub use scheme::SchemeKind;
 pub use system::{System, SystemConfig};

@@ -45,6 +45,15 @@ impl RunMetrics {
 /// Geometric mean of positive values — the paper's cross-benchmark
 /// average for normalized metrics.
 ///
+/// Edge cases (pinned by unit tests, do not change silently):
+/// * an empty slice yields `0.0` (a missing benchmark set reads as "no
+///   result", not a crash or a misleading `1.0`);
+/// * any `0.0` element collapses the mean to `0.0` (`ln(0) = -inf`,
+///   `exp(-inf) = 0`), matching the limit of the product form;
+/// * negative elements yield `NaN` (`ln` of a negative is `NaN`) — the
+///   caller fed in something that is not a ratio, and a loud `NaN`
+///   beats a silently wrong average.
+///
 /// ```
 /// # use equinox_core::metrics::geomean;
 /// assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
@@ -58,6 +67,12 @@ pub fn geomean(xs: &[f64]) -> f64 {
 }
 
 /// Normalizes `value` against `baseline` (baseline = 1.0).
+///
+/// A zero baseline yields `0.0` rather than `inf`/`NaN` — a scheme with
+/// no baseline measurement plots as absent, not off-scale. A *negative*
+/// baseline is passed through arithmetically (the sign flips); metrics
+/// here are all non-negative, so that only happens on caller error and
+/// is pinned by a test rather than guarded.
 pub fn normalize(value: f64, baseline: f64) -> f64 {
     if baseline == 0.0 {
         0.0
@@ -81,5 +96,27 @@ mod tests {
     fn normalize_guards_zero() {
         assert_eq!(normalize(5.0, 0.0), 0.0);
         assert!((normalize(5.0, 10.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geomean_zero_element_collapses_to_zero() {
+        assert_eq!(geomean(&[0.0, 2.0, 4.0]), 0.0);
+        assert_eq!(geomean(&[0.0]), 0.0);
+    }
+
+    #[test]
+    fn geomean_negative_element_is_nan() {
+        assert!(geomean(&[-1.0]).is_nan());
+        assert!(geomean(&[2.0, -3.0]).is_nan());
+    }
+
+    #[test]
+    fn normalize_zero_value_and_negative_baseline() {
+        assert_eq!(normalize(0.0, 0.0), 0.0, "both zero reads as absent");
+        assert_eq!(normalize(0.0, 7.0), 0.0);
+        // Negative baselines are caller error; the sign passes through.
+        assert!((normalize(5.0, -2.0) - (-2.5)).abs() < 1e-12);
+        // -0.0 == 0.0 in IEEE comparison, so it takes the guard too.
+        assert_eq!(normalize(5.0, -0.0), 0.0);
     }
 }

@@ -1,0 +1,392 @@
+//! System-level observability: the glue between [`equinox_obs`]'s
+//! generic building blocks and the full-system simulator.
+//!
+//! When [`crate::system::SystemConfig::obs`] is set, [`SystemObs`]
+//! rides inside the [`System`](crate::system::System) as one
+//! `Option<Box<_>>` (the audit pattern: one branch per event when off,
+//! preallocated buffers when on) and records:
+//!
+//! * **Counters/histograms** — quiescence fast-forward jumps and cycles
+//!   skipped, delivered request/reply packets, and end-to-end packet
+//!   latency histograms (cycles, request vs reply) with
+//!   p50/p95/p99 from bucket interpolation.
+//! * **Time series** — every `interval` cycles: delivered-flit
+//!   throughput, packets in flight, per-subnet link utilization, and
+//!   per-CB-group EIR injection load.
+//! * **Spans** — wall-clock timings of the phases of `System::step`
+//!   (quiescence scan, CB+HBM tick, PE tick, NI tick, per-subnet NoC
+//!   step, sink drain), kept out of the deterministic artifact and
+//!   exported only to the Chrome trace file.
+//!
+//! The `obs/v1` artifact block ([`SystemObs::to_json`]) contains only
+//! cycle-derived data, so it is bit-identical across worker counts and
+//! repeated runs; wall-clock span data goes only to the Perfetto
+//! export ([`chrome_trace`]).
+
+use crate::heatmap::HeatMap;
+use crate::msg::PacketTracker;
+use equinox_config::Json;
+use equinox_noc::network::{InjectorId, Network};
+use equinox_noc::trace::{TraceEvent, TraceKind};
+use equinox_obs::{
+    ChromeTrace, CounterId, HistogramId, Registry, SpanId, SpanProfiler, TimeSeries,
+};
+
+/// Observability configuration carried by
+/// [`SystemConfig`](crate::system::SystemConfig).
+#[derive(Debug, Clone)]
+pub struct ObsConfig {
+    /// Cycles between time-series samples.
+    pub interval: u64,
+    /// Span-event ring capacity (wall-clock phase events retained for
+    /// the Chrome trace export; aggregates are always kept).
+    pub span_capacity: usize,
+}
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        ObsConfig {
+            interval: 1_000,
+            span_capacity: 32_768,
+        }
+    }
+}
+
+/// The instrumented phases of `System::step`, in registration order.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Phase {
+    /// Quiescence scan + fast-forward attempt.
+    Quiescence = 0,
+    /// Cache-bank ticks (includes the HBM stacks).
+    CbTick,
+    /// PE execution + request creation.
+    PeTick,
+    /// NI flit streaming into the networks.
+    NiTick,
+    /// One subnet's network stepping (track = subnet index).
+    NocStep,
+    /// Ejection-queue drains at PEs and CBs.
+    SinkDrain,
+}
+
+const PHASE_NAMES: [&str; 6] = [
+    "quiescence_scan",
+    "cb_tick",
+    "pe_tick",
+    "ni_tick",
+    "noc_step",
+    "sink_drain",
+];
+
+/// Latency histogram bucket upper edges, in core cycles.
+const LAT_BOUNDS: [u64; 11] = [16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384];
+
+/// Cap on time-series rows regardless of `max_cycles / interval` (a
+/// 2M-cycle run at interval 1 must not preallocate gigabytes).
+const MAX_SAMPLES: usize = 65_536;
+
+/// Per-run observability state owned by the `System`.
+pub(crate) struct SystemObs {
+    registry: Registry,
+    series: TimeSeries,
+    pub(crate) spans: SpanProfiler,
+    phases: [SpanId; 6],
+    c_ff_jumps: CounterId,
+    c_ff_cycles: CounterId,
+    c_req_pkts: CounterId,
+    c_rep_pkts: CounterId,
+    h_req_lat: HistogramId,
+    h_rep_lat: HistogramId,
+    /// EIR injector handles per CB group (EquiNox reply net only).
+    eir_groups: Vec<Vec<InjectorId>>,
+    next_sample: u64,
+    last_cycle: u64,
+    last_ejected: Vec<u64>,
+    last_links: Vec<u64>,
+    last_eir: Vec<u64>,
+    last_ff: u64,
+    /// Scratch row reused by every sample (allocation-free sampling).
+    scratch: Vec<f64>,
+}
+
+impl SystemObs {
+    /// Builds the observability state for a machine with the given
+    /// networks and (possibly empty) per-CB EIR groups. Every buffer is
+    /// sized here; recording allocates nothing.
+    pub(crate) fn new(
+        cfg: &ObsConfig,
+        nets: &[Network],
+        eir_groups: Vec<Vec<InjectorId>>,
+        max_cycles: u64,
+    ) -> Self {
+        let interval = cfg.interval.max(1);
+        let rows = ((max_cycles / interval) as usize).saturating_add(2).min(MAX_SAMPLES);
+        let mut registry = Registry::new();
+        let c_ff_jumps = registry.counter("ff_jumps");
+        let c_ff_cycles = registry.counter("ff_cycles_skipped");
+        let c_req_pkts = registry.counter("req_packets_delivered");
+        let c_rep_pkts = registry.counter("rep_packets_delivered");
+        let h_req_lat = registry.histogram("req_latency_cycles", &LAT_BOUNDS);
+        let h_rep_lat = registry.histogram("rep_latency_cycles", &LAT_BOUNDS);
+
+        // Column registration order is the row layout `sample` fills:
+        // throughput, in-flight, ff, one per net, one per EIR group.
+        let mut series = TimeSeries::new(interval, rows);
+        let _ = series.add("throughput_flits_per_cycle");
+        let _ = series.add("packets_in_flight");
+        let _ = series.add("ff_cycles_skipped");
+        for i in 0..nets.len() {
+            let _ = series.add(&format!("link_utilization_net{i}"));
+        }
+        for g in 0..eir_groups.len() {
+            let _ = series.add(&format!("eir_load_cb{g}"));
+        }
+
+        let mut spans = SpanProfiler::new(cfg.span_capacity);
+        let phases: Vec<SpanId> = PHASE_NAMES.iter().map(|n| spans.register(n)).collect();
+        let width = nets.len() + eir_groups.len() + 3;
+        let n_eir = eir_groups.len();
+        SystemObs {
+            registry,
+            series,
+            spans,
+            phases: phases.try_into().expect("six phases"),
+            c_ff_jumps,
+            c_ff_cycles,
+            c_req_pkts,
+            c_rep_pkts,
+            h_req_lat,
+            h_rep_lat,
+            eir_groups,
+            next_sample: interval,
+            last_cycle: 0,
+            last_ejected: vec![0; nets.len()],
+            last_links: vec![0; nets.len()],
+            last_eir: vec![0; n_eir],
+            last_ff: 0,
+            scratch: Vec::with_capacity(width),
+        }
+    }
+
+    /// The next cycle at which [`SystemObs::sample`] is due.
+    #[inline]
+    pub(crate) fn next_sample(&self) -> u64 {
+        self.next_sample
+    }
+
+    /// `true` when the run's final cycle has data not yet captured in a
+    /// time-series row (the terminal flush in `System::run`).
+    #[inline]
+    pub(crate) fn needs_final_sample(&self, cycle: u64) -> bool {
+        self.series.is_empty() || cycle > self.last_cycle
+    }
+
+    /// Closes one `System::step` phase span opened at `start_ns`.
+    #[inline]
+    pub(crate) fn end_span(&mut self, phase: Phase, track: u64, start_ns: u64, cycle: u64) {
+        let id = self.phases[phase as usize];
+        self.spans.record(id, track, start_ns, cycle);
+    }
+
+    /// Notes a quiescence fast-forward of `k` cycles.
+    #[inline]
+    pub(crate) fn note_fast_forward(&mut self, k: u64) {
+        self.registry.inc(self.c_ff_jumps, 1);
+        self.registry.inc(self.c_ff_cycles, k);
+    }
+
+    /// Records one delivered packet's end-to-end latency.
+    #[inline]
+    pub(crate) fn record_latency(&mut self, reply: bool, lat_cycles: u64) {
+        if reply {
+            self.registry.inc(self.c_rep_pkts, 1);
+            self.registry.observe(self.h_rep_lat, lat_cycles);
+        } else {
+            self.registry.inc(self.c_req_pkts, 1);
+            self.registry.observe(self.h_req_lat, lat_cycles);
+        }
+    }
+
+    /// Records one time-series row at `cycle` and re-arms the sampling
+    /// threshold. Deltas are measured against the previous sample, so
+    /// quiescence fast-forwards simply stretch the row's cycle span
+    /// (cycle-based sampling keeps the series deterministic).
+    pub(crate) fn sample(&mut self, cycle: u64, nets: &[Network], tracker: &PacketTracker) {
+        let dt = cycle.saturating_sub(self.last_cycle).max(1) as f64;
+        self.scratch.clear();
+
+        let mut ejected = 0u64;
+        for (i, net) in nets.iter().enumerate() {
+            let e = net.stats().ejected_flits;
+            ejected += e - self.last_ejected[i];
+            self.last_ejected[i] = e;
+        }
+        self.scratch.push(ejected as f64 / dt);
+        self.scratch.push(tracker.in_flight() as f64);
+        let ff = self.registry.counter_value(self.c_ff_cycles);
+        self.scratch.push((ff - self.last_ff) as f64);
+        self.last_ff = ff;
+        for (i, net) in nets.iter().enumerate() {
+            let total = net.stats().total_link_flits();
+            let delta = total - self.last_links[i];
+            self.last_links[i] = total;
+            self.scratch
+                .push(delta as f64 / (net.num_links().max(1) as f64 * dt));
+        }
+        for (g, group) in self.eir_groups.iter().enumerate() {
+            let total: u64 = group.iter().map(|&id| nets[1].injector_flits(id)).sum();
+            let delta = total - self.last_eir[g];
+            self.last_eir[g] = total;
+            self.scratch.push(delta as f64 / dt);
+        }
+        self.series.sample(cycle, &self.scratch);
+        self.last_cycle = cycle;
+        self.next_sample = cycle + self.series.interval();
+    }
+
+    /// The `equinox.obs/v1` artifact block: counters, histograms with
+    /// interpolated percentiles, the time series, and per-router heat
+    /// grids — cycle-derived data only, bit-identical across worker
+    /// counts.
+    pub(crate) fn to_json(&self, nets: &[Network]) -> Json {
+        let mut counters = Json::obj();
+        for (name, v) in self.registry.counters() {
+            counters = counters.with(name, v as f64);
+        }
+        let mut gauges = Json::obj();
+        for (name, v) in self.registry.gauges() {
+            gauges = gauges.with(name, v);
+        }
+        let mut hists = Json::obj();
+        for (name, h) in self.registry.histograms() {
+            hists = hists.with(
+                name,
+                Json::obj()
+                    .with("bounds", h.bounds().iter().map(|&b| Json::Num(b as f64)).collect::<Vec<_>>())
+                    .with("counts", h.counts().iter().map(|&c| Json::Num(c as f64)).collect::<Vec<_>>())
+                    .with("count", h.count() as f64)
+                    .with("min", h.min().unwrap_or(0) as f64)
+                    .with("max", h.max().unwrap_or(0) as f64)
+                    .with("mean", h.mean())
+                    .with("p50", h.quantile(0.50))
+                    .with("p95", h.quantile(0.95))
+                    .with("p99", h.quantile(0.99)),
+            );
+        }
+        let mut series = Json::obj().with(
+            "cycle",
+            self.series.cycles().iter().map(|&c| Json::Num(c as f64)).collect::<Vec<_>>(),
+        );
+        for (name, vals) in self.series.columns() {
+            series = series.with(name, vals.iter().map(|&v| Json::Num(v)).collect::<Vec<_>>());
+        }
+        let heat: Vec<Json> = nets
+            .iter()
+            .enumerate()
+            .map(|(i, net)| {
+                let hm = HeatMap {
+                    width: net.width(),
+                    heat: net.stats().heat_map(),
+                    variance: net.stats().heat_variance(),
+                };
+                hm.to_json().with("net", i as f64)
+            })
+            .collect();
+        let mut link_scratch = Vec::new();
+        let links: Vec<Json> = nets
+            .iter()
+            .enumerate()
+            .map(|(i, net)| {
+                net.link_flit_counts(&mut link_scratch);
+                Json::obj()
+                    .with("net", i as f64)
+                    .with(
+                        "flits",
+                        link_scratch.iter().map(|&f| Json::Num(f as f64)).collect::<Vec<_>>(),
+                    )
+            })
+            .collect();
+        Json::obj()
+            .with("schema", "equinox.obs/v1")
+            .with("interval", self.series.interval() as f64)
+            .with("samples", self.series.len() as f64)
+            .with("samples_dropped", self.series.dropped() as f64)
+            .with("counters", counters)
+            .with("gauges", gauges)
+            .with("histograms", hists)
+            .with("series", series)
+            .with("heat", heat)
+            .with("links", links)
+    }
+
+    /// A one-screen human summary for stderr reports.
+    pub(crate) fn summary(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in self.registry.counters() {
+            out.push_str(&format!("  {name:24} {v}\n"));
+        }
+        for (name, h) in self.registry.histograms() {
+            out.push_str(&format!(
+                "  {name:24} n={} p50={:.0} p95={:.0} p99={:.0}\n",
+                h.count(),
+                h.quantile(0.50),
+                h.quantile(0.95),
+                h.quantile(0.99)
+            ));
+        }
+        for (name, calls, total_ns) in self.spans.summary() {
+            out.push_str(&format!(
+                "  span {name:19} calls={calls} total={:.1}ms\n",
+                total_ns as f64 / 1e6
+            ));
+        }
+        out
+    }
+}
+
+/// Assembles the Chrome trace-event JSON for one run: wall-clock phase
+/// spans (when observability is armed) on pid 1, and per-flit NoC trace
+/// events on pid 2 with `ts` = the simulated cycle (one "microsecond"
+/// per cycle) and one thread per subnet.
+pub(crate) fn chrome_trace(
+    spans: Option<&SpanProfiler>,
+    flit_traces: &[(usize, Vec<TraceEvent>)],
+) -> String {
+    let mut t = ChromeTrace::new();
+    if let Some(sp) = spans {
+        t.process_name(1, "System::step phases (wall clock)");
+        for ev in sp.events() {
+            t.complete(
+                sp.name(ev.span),
+                1,
+                ev.track + 1,
+                ev.start_ns as f64 / 1_000.0,
+                ev.dur_ns as f64 / 1_000.0,
+                &[("cycle", ev.cycle as f64)],
+            );
+        }
+    }
+    t.process_name(2, "NoC flit trace (ts = simulated cycle)");
+    for &(net, ref events) in flit_traces {
+        t.thread_name(2, net as u64 + 1, &format!("net{net}"));
+        for ev in events {
+            let name = match ev.kind {
+                TraceKind::Inject => "inject",
+                TraceKind::Hop => "hop",
+                TraceKind::Eject => "eject",
+            };
+            t.instant(
+                name,
+                2,
+                net as u64 + 1,
+                ev.cycle as f64,
+                &[
+                    ("pkt", ev.pkt.0 as f64),
+                    ("seq", ev.seq as f64),
+                    ("router", ev.router as f64),
+                ],
+            );
+        }
+    }
+    t.finish()
+}

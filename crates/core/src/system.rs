@@ -10,6 +10,7 @@ use crate::design::EquiNoxDesign;
 use crate::metrics::RunMetrics;
 use crate::msg::{MemOpKind, PacketTracker};
 use crate::ni::{InjectPolicy, InjectionQueue};
+use crate::obs::{Phase, SystemObs};
 use crate::scheme::SchemeKind;
 use equinox_hbm::HbmConfig;
 use equinox_noc::config::{NocConfig, VcPartition};
@@ -65,6 +66,15 @@ pub struct SystemConfig {
     /// defaults on; the spec's `--no-activity-gate` /
     /// `EQUINOX_NO_ACTIVITY_GATE` escape hatch turns it off.
     pub activity_gate: bool,
+    /// Observability configuration. `None` (the default) keeps the hot
+    /// loop on the allocation-free fast path — one `Option` branch per
+    /// event; `Some` arms the metrics registry, the interval time-series
+    /// sampler and the step-phase span profiler (all preallocated at
+    /// build time). Drivers fill it in from the resolved spec's `--obs`.
+    pub obs: Option<crate::obs::ObsConfig>,
+    /// Per-network flit-trace ring capacity; 0 (the default) disables
+    /// tracing. Drivers fill it in from `--trace` / `--trace-capacity`.
+    pub trace_capacity: usize,
 }
 
 impl SystemConfig {
@@ -88,6 +98,8 @@ impl SystemConfig {
             reply_compression: 0.0,
             audit: None,
             activity_gate: true,
+            obs: None,
+            trace_capacity: 0,
         }
     }
 
@@ -124,6 +136,11 @@ impl SystemConfig {
             watchdog_window: spec.audit_watchdog_window,
             panic_on_violation: spec.audit_panic,
         });
+        self.obs = spec.obs.then_some(crate::obs::ObsConfig {
+            interval: spec.obs_interval.max(1),
+            ..Default::default()
+        });
+        self.trace_capacity = if spec.trace { spec.trace_capacity } else { 0 };
     }
 }
 
@@ -177,6 +194,9 @@ pub struct System {
     /// System-level audit findings retained when the auditor is
     /// configured not to panic.
     audit_findings: Vec<String>,
+    /// Observability state; `None` keeps the hot loop on the
+    /// one-branch-per-event fast path.
+    obs: Option<Box<SystemObs>>,
 }
 
 impl System {
@@ -364,6 +384,7 @@ impl System {
         }
 
         // CBs, their reply NIs, and request sinks.
+        let mut eir_groups: Vec<Vec<equinox_noc::InjectorId>> = Vec::new();
         for (ci, &cb_node) in placement.cbs.iter().enumerate() {
             let idx = cb_node.to_index(n);
             let policy = match scheme {
@@ -393,10 +414,13 @@ impl System {
                 }
                 SchemeKind::EquiNox => {
                     let d = design.as_ref().expect("EquiNox has a design");
-                    let eirs = d.selection.groups[ci]
+                    let eirs: Vec<_> = d.selection.groups[ci]
                         .iter()
                         .map(|&e| (e, nets[1].add_injection_port(e, 1, LinkKind::Interposer)))
                         .collect();
+                    // Keep the injector handles so the observability layer
+                    // can report per-CB-group EIR load.
+                    eir_groups.push(eirs.iter().map(|&(_, id)| id).collect());
                     InjectPolicy::Equinox {
                         net: 1,
                         local: nets[1].local_injector(cb_node),
@@ -498,6 +522,15 @@ impl System {
                 net.enable_audit(acfg.clone());
             }
         }
+        if cfg.trace_capacity > 0 {
+            for net in &mut nets {
+                net.enable_trace(cfg.trace_capacity);
+            }
+        }
+        let obs = cfg
+            .obs
+            .as_ref()
+            .map(|o| Box::new(SystemObs::new(o, &nets, eir_groups, cfg.max_cycles)));
 
         let total_instrs = cfg.workload.total_instrs(pe_count);
         let steps = steps_per_two.clone();
@@ -532,6 +565,7 @@ impl System {
             sys_last_progress: 0,
             sys_last_progress_cycle: 0,
             audit_findings: Vec::new(),
+            obs,
             cfg,
         }
     }
@@ -554,9 +588,12 @@ impl System {
     /// real cycle is then simulated at the landing time.
     pub fn step(&mut self) {
         if self.cfg.activity_gate {
+            let s = self.span_start();
             self.try_fast_forward();
+            self.span_end(Phase::Quiescence, 0, s);
         }
         let t = self.cycle;
+        let s = self.span_start();
         // Cache banks: memory + reply generation. Under the activity
         // gate a bank whose next tick is provably a no-op (see
         // `CacheBank::skippable` / `CacheBank::next_event`) is skipped
@@ -581,7 +618,9 @@ impl System {
                 self.cbs[ci].tick(t, &mut self.tracker, &mut self.rep_nis[ci]);
             }
         }
+        self.span_end(Phase::CbTick, 0, s);
         // PEs: execute and emit requests.
+        let s = self.span_start();
         let n_cbs = self.cbs.len() as u64;
         for idx in 0..self.pes.len() {
             let Some(pe) = self.pes[idx].as_mut() else {
@@ -612,9 +651,11 @@ impl System {
                 self.done_pes += 1;
             }
         }
+        self.span_end(Phase::PeTick, 0, s);
         // NIs stream flits into the networks. An idle NI's tick is a
         // pure no-op (nothing queued, nothing in flight), so the gate
         // skips the call.
+        let s = self.span_start();
         let gate = self.cfg.activity_gate;
         for ni in self.req_nis.iter_mut().flatten() {
             if gate && ni.is_idle() {
@@ -628,17 +669,21 @@ impl System {
             }
             ni.tick(&mut self.nets, &mut self.tracker, t);
         }
+        self.span_end(Phase::NiTick, 0, s);
         // Networks advance (subnets may step more than once).
         for i in 0..self.nets.len() {
+            let s = self.span_start();
             self.step_accum[i] += self.steps_per_two[i];
             while self.step_accum[i] >= 2 {
                 self.nets[i].step();
                 self.step_accum[i] -= 2;
             }
+            self.span_end(Phase::NocStep, i as u64, s);
         }
         // Drain replies at PEs. A network with nothing in any eject
         // queue (O(1) check) cannot satisfy a pop, so its sinks are
         // skipped wholesale.
+        let s = self.span_start();
         for &((net, r, p), node) in &self.pe_sinks {
             if !self.nets[net].has_ejected() {
                 continue;
@@ -646,6 +691,10 @@ impl System {
             while let Some(f) = self.nets[net].pop_ejected(r, p) {
                 if f.is_tail() {
                     self.tracker.mark_ejected(f.pkt.0, t);
+                    if let Some(o) = self.obs.as_deref_mut() {
+                        let created = self.tracker.record(f.pkt.0).created;
+                        o.record_latency(true, t.saturating_sub(created));
+                    }
                     let pe = self.pes[node]
                         .as_mut()
                         .expect("reply sink belongs to a PE");
@@ -667,6 +716,10 @@ impl System {
                     Some(f) => {
                         if f.is_tail() {
                             self.tracker.mark_ejected(f.pkt.0, t);
+                            if let Some(o) = self.obs.as_deref_mut() {
+                                let created = self.tracker.record(f.pkt.0).created;
+                                o.record_latency(false, t.saturating_sub(created));
+                            }
                             self.cbs[ci].accept(f.pkt.0, &self.tracker, t);
                             // The accepted request re-arms the bank's
                             // tick schedule (its next event changed).
@@ -677,9 +730,36 @@ impl System {
                 }
             }
         }
+        self.span_end(Phase::SinkDrain, 0, s);
         self.cycle += 1;
         if self.cfg.audit.is_some() {
             self.audit_step();
+        }
+        // Sampling is keyed to the simulated clock, never wall time, so
+        // the recorded series is deterministic. A fast-forward can jump
+        // past several due points; the next row then spans the gap.
+        if let Some(o) = self.obs.as_deref_mut() {
+            if self.cycle >= o.next_sample() {
+                o.sample(self.cycle, &self.nets, &self.tracker);
+            }
+        }
+    }
+
+    /// Opens a wall-clock span (no-op returning 0 when obs is off).
+    #[inline]
+    fn span_start(&self) -> u64 {
+        match &self.obs {
+            Some(o) => o.spans.start(),
+            None => 0,
+        }
+    }
+
+    /// Closes a wall-clock span opened by [`System::span_start`].
+    #[inline]
+    fn span_end(&mut self, phase: Phase, track: u64, start_ns: u64) {
+        let cycle = self.cycle;
+        if let Some(o) = self.obs.as_deref_mut() {
+            o.end_span(phase, track, start_ns, cycle);
         }
     }
 
@@ -767,6 +847,9 @@ impl System {
             return;
         }
         self.cycle += k;
+        if let Some(o) = self.obs.as_deref_mut() {
+            o.note_fast_forward(k);
+        }
         for i in 0..self.nets.len() {
             let total = u64::from(self.step_accum[i]) + k * u64::from(self.steps_per_two[i]);
             self.nets[i].skip_idle(total / 2);
@@ -889,6 +972,14 @@ impl System {
         while !self.done() && self.cycle < self.cfg.max_cycles {
             self.step();
         }
+        // Terminal time-series row: runs shorter than one sampling
+        // interval still get a data point, and longer runs close their
+        // series at the final cycle (cycle-derived, so deterministic).
+        if let Some(o) = self.obs.as_deref_mut() {
+            if o.needs_final_sample(self.cycle) {
+                o.sample(self.cycle, &self.nets, &self.tracker);
+            }
+        }
         self.metrics()
     }
 
@@ -988,6 +1079,56 @@ impl System {
     /// Per-CB inflight request counts.
     pub fn cb_inflights(&self) -> Vec<usize> {
         self.cbs.iter().map(|c| c.inflight()).collect()
+    }
+
+    /// Drains the per-network flit-trace ring buffers, returning
+    /// `(net index, events)` for every network that recorded anything.
+    /// Always empty unless the config armed tracing
+    /// ([`SystemConfig::trace_capacity`] > 0).
+    pub fn drain_traces(&mut self) -> Vec<(usize, Vec<equinox_noc::TraceEvent>)> {
+        self.nets
+            .iter_mut()
+            .enumerate()
+            .map(|(i, n)| (i, n.drain_trace()))
+            .filter(|(_, evs)| !evs.is_empty())
+            .collect()
+    }
+
+    /// The `equinox.obs/v1` artifact block, when observability is armed.
+    /// Contains only cycle-derived data (counters, histograms with
+    /// interpolated percentiles, the time series, per-router heat grids
+    /// and per-link flit counts) — bit-identical across worker counts.
+    pub fn obs_json(&self) -> Option<equinox_config::Json> {
+        self.obs.as_ref().map(|o| o.to_json(&self.nets))
+    }
+
+    /// Chrome trace-event JSON for Perfetto / `chrome://tracing`:
+    /// wall-clock `System::step` phase spans (when obs is armed) plus
+    /// the drained flit traces as instant events with `ts` = the
+    /// simulated cycle (when tracing is armed). Draining consumes the
+    /// flit rings, so call this once, at the end of a run.
+    pub fn export_chrome_trace(&mut self) -> String {
+        let traces = self.drain_traces();
+        crate::obs::chrome_trace(self.obs.as_ref().map(|o| &o.spans), &traces)
+    }
+
+    /// Per-network live-run heat maps (the Figure 4 quantity, taken from
+    /// the run's own router counters rather than a synthetic workload).
+    pub fn heat_maps(&self) -> Vec<crate::heatmap::HeatMap> {
+        self.nets
+            .iter()
+            .map(|n| crate::heatmap::HeatMap {
+                width: n.width(),
+                heat: n.stats().heat_map(),
+                variance: n.stats().heat_variance(),
+            })
+            .collect()
+    }
+
+    /// One-screen observability summary for stderr reports (empty when
+    /// obs is off).
+    pub fn obs_summary(&self) -> String {
+        self.obs.as_ref().map(|o| o.summary()).unwrap_or_default()
     }
 }
 

@@ -46,6 +46,8 @@ pub(crate) struct Link {
     flits: VecDeque<(u64, Flit)>,
     /// In-flight credits, as (arrival_cycle, vc).
     credits: VecDeque<(u64, u8)>,
+    /// Cumulative flits sent down this link (per-link utilization).
+    pub flits_carried: u64,
 }
 
 impl Link {
@@ -65,6 +67,7 @@ impl Link {
             credit_dst,
             flits: VecDeque::new(),
             credits: VecDeque::new(),
+            flits_carried: 0,
         }
     }
 
@@ -75,6 +78,7 @@ impl Link {
             "more than one flit per cycle on a link"
         );
         self.flits.push_back((now + self.latency as u64, flit));
+        self.flits_carried += 1;
     }
 
     /// Sends a credit back upstream for `vc`; arrives at `now + latency`.

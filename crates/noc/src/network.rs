@@ -42,6 +42,8 @@ pub(crate) struct Injector {
     active_vc: Option<u8>,
     /// Cycle of the last accepted flit (enforces one flit per cycle).
     last_cycle: u64,
+    /// Total flits accepted through this injector (observability).
+    flits: u64,
 }
 
 /// A deduplicated worklist over a dense id space, kept sorted ascending
@@ -236,6 +238,7 @@ impl Network {
             credits: vec![self.cfg.vc_buf_flits as u32; self.cfg.vcs_per_port as usize],
             active_vc: None,
             last_cycle: u64::MAX,
+            flits: 0,
         });
         InjectorId(injector_idx)
     }
@@ -283,6 +286,26 @@ impl Network {
     /// Router index hosting this injector.
     pub fn injector_router(&self, id: InjectorId) -> usize {
         self.injectors[id.0].router
+    }
+
+    /// Total flits accepted through this injector since construction
+    /// (observability: per-EIR load sampling).
+    pub fn injector_flits(&self, id: InjectorId) -> u64 {
+        self.injectors[id.0].flits
+    }
+
+    /// Number of links in the network (mesh links plus every NI/EIR
+    /// feed), the denominator of link-utilization figures.
+    pub fn num_links(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Fills `out` with the cumulative flit count carried by each link
+    /// (index = link id). Reuses the caller's buffer so a sampling loop
+    /// stays allocation-free after the first call.
+    pub fn link_flit_counts(&self, out: &mut Vec<u64>) {
+        out.clear();
+        out.extend(self.links.iter().map(|l| l.flits_carried));
     }
 
     /// `true` if the injector could accept the head flit of a new packet
@@ -349,6 +372,7 @@ impl Network {
         debug_assert!(inj.credits[vc as usize] > 0 && inj.credits[vc as usize] <= cfgdepth);
         inj.credits[vc as usize] -= 1;
         inj.last_cycle = self.cycle;
+        inj.flits += 1;
         inj.active_vc = if flit.is_tail() { None } else { Some(vc) };
         flit.vc = vc;
         let link = inj.link;

@@ -1,0 +1,172 @@
+//! Chrome trace-event JSON writer.
+//!
+//! Emits the subset of the trace-event format understood by Perfetto
+//! and `chrome://tracing`: complete events (`"ph":"X"`) for spans,
+//! instant events (`"ph":"i"`) for point occurrences, and metadata
+//! events naming processes/threads. Timestamps are microseconds
+//! (`f64`); the caller chooses what a microsecond means per process
+//! (wall-clock spans on one pid, simulated cycles on another).
+
+/// Incremental builder for one trace file.
+#[derive(Debug)]
+pub struct ChromeTrace {
+    buf: String,
+    any: bool,
+}
+
+fn push_escaped(buf: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => buf.push_str("\\\""),
+            '\\' => buf.push_str("\\\\"),
+            '\n' => buf.push_str("\\n"),
+            '\t' => buf.push_str("\\t"),
+            '\r' => buf.push_str("\\r"),
+            c if (c as u32) < 0x20 => buf.push_str(&format!("\\u{:04x}", c as u32)),
+            c => buf.push(c),
+        }
+    }
+}
+
+fn push_num(buf: &mut String, v: f64) {
+    if v.is_finite() {
+        buf.push_str(&format!("{v}"));
+    } else {
+        buf.push('0');
+    }
+}
+
+impl Default for ChromeTrace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ChromeTrace {
+    /// Starts an empty trace.
+    pub fn new() -> Self {
+        ChromeTrace {
+            buf: String::from("{\"traceEvents\": ["),
+            any: false,
+        }
+    }
+
+    fn open_event(&mut self, ph: char, name: &str, pid: u64, tid: u64) {
+        if self.any {
+            self.buf.push_str(", ");
+        }
+        self.any = true;
+        self.buf.push_str("{\"ph\": \"");
+        self.buf.push(ph);
+        self.buf.push_str("\", \"name\": \"");
+        push_escaped(&mut self.buf, name);
+        self.buf
+            .push_str(&format!("\", \"pid\": {pid}, \"tid\": {tid}"));
+    }
+
+    fn push_args(&mut self, args: &[(&str, f64)]) {
+        if args.is_empty() {
+            return;
+        }
+        self.buf.push_str(", \"args\": {");
+        for (i, (k, v)) in args.iter().enumerate() {
+            if i > 0 {
+                self.buf.push_str(", ");
+            }
+            self.buf.push('"');
+            push_escaped(&mut self.buf, k);
+            self.buf.push_str("\": ");
+            push_num(&mut self.buf, *v);
+        }
+        self.buf.push('}');
+    }
+
+    /// Names a process in the timeline.
+    pub fn process_name(&mut self, pid: u64, name: &str) {
+        self.open_event('M', "process_name", pid, 0);
+        self.buf.push_str(", \"args\": {\"name\": \"");
+        push_escaped(&mut self.buf, name);
+        self.buf.push_str("\"}}");
+    }
+
+    /// Names a thread (track) in the timeline.
+    pub fn thread_name(&mut self, pid: u64, tid: u64, name: &str) {
+        self.open_event('M', "thread_name", pid, tid);
+        self.buf.push_str(", \"args\": {\"name\": \"");
+        push_escaped(&mut self.buf, name);
+        self.buf.push_str("\"}}");
+    }
+
+    /// A complete event (`ph: X`): `ts`/`dur` in microseconds.
+    pub fn complete(
+        &mut self,
+        name: &str,
+        pid: u64,
+        tid: u64,
+        ts_us: f64,
+        dur_us: f64,
+        args: &[(&str, f64)],
+    ) {
+        self.open_event('X', name, pid, tid);
+        self.buf.push_str(", \"ts\": ");
+        push_num(&mut self.buf, ts_us);
+        self.buf.push_str(", \"dur\": ");
+        push_num(&mut self.buf, dur_us);
+        self.push_args(args);
+        self.buf.push('}');
+    }
+
+    /// An instant event (`ph: i`, thread scope).
+    pub fn instant(&mut self, name: &str, pid: u64, tid: u64, ts_us: f64, args: &[(&str, f64)]) {
+        self.open_event('i', name, pid, tid);
+        self.buf.push_str(", \"ts\": ");
+        push_num(&mut self.buf, ts_us);
+        self.buf.push_str(", \"s\": \"t\"");
+        self.push_args(args);
+        self.buf.push('}');
+    }
+
+    /// Closes the trace and returns the JSON document.
+    pub fn finish(mut self) -> String {
+        self.buf.push_str("]}");
+        self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_form_a_json_document() {
+        let mut t = ChromeTrace::new();
+        t.process_name(1, "phases");
+        t.thread_name(1, 1, "step");
+        t.complete("cb_tick", 1, 1, 10.0, 2.5, &[("cycle", 42.0)]);
+        t.instant("inject", 2, 1, 100.0, &[("pkt", 7.0), ("seq", 0.0)]);
+        let s = t.finish();
+        assert!(s.starts_with("{\"traceEvents\": ["));
+        assert!(s.ends_with("]}"));
+        assert!(s.contains("\"ph\": \"X\""));
+        assert!(s.contains("\"ph\": \"i\""));
+        assert!(s.contains("\"dur\": 2.5"));
+        assert!(s.contains("\"args\": {\"pkt\": 7, \"seq\": 0}"));
+        // Balanced braces/brackets (cheap well-formedness check; the
+        // bench E2E tests parse the real export with the JSON parser).
+        assert_eq!(s.matches('{').count(), s.matches('}').count());
+        assert_eq!(s.matches('[').count(), s.matches(']').count());
+    }
+
+    #[test]
+    fn names_are_escaped() {
+        let mut t = ChromeTrace::new();
+        t.instant("a\"b\\c", 1, 1, 0.0, &[]);
+        let s = t.finish();
+        assert!(s.contains("a\\\"b\\\\c"));
+    }
+
+    #[test]
+    fn empty_trace_is_valid() {
+        assert_eq!(ChromeTrace::new().finish(), "{\"traceEvents\": []}");
+    }
+}

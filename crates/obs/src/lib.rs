@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+//! `equinox-obs` — a dependency-free observability layer.
+//!
+//! The simulator's end-of-run aggregates (`RunMetrics`, `NetStats`)
+//! answer *how much*; diagnosing a congestion pathology or a perf
+//! regression needs *when* and *where*. This crate supplies the four
+//! building blocks the system simulator threads through its hot loop:
+//!
+//! * [`Registry`] — named counters, gauges and fixed-bucket
+//!   [`Histogram`]s addressed by integer handles, so the hot path never
+//!   hashes a string or allocates.
+//! * [`TimeSeries`] — an interval sampler recording one row of named
+//!   series every N cycles into buffers sized at construction.
+//! * [`SpanProfiler`] — wall-clock phase timings (aggregates plus a
+//!   bounded event ring) for the stages of a simulation step.
+//! * [`ChromeTrace`] — a writer for the Chrome trace-event JSON format
+//!   (loadable in Perfetto / `chrome://tracing`), used to export span
+//!   events and per-flit NoC trace events onto one timeline.
+//!
+//! Everything here is plain `std`: registration allocates, recording
+//! does not. Wall-clock data ([`SpanProfiler`]) is inherently
+//! nondeterministic and must only be exported to trace files, never
+//! into artifacts that are compared bit-for-bit across runs; the
+//! cycle-derived structures ([`Registry`], [`TimeSeries`]) are
+//! deterministic whenever the simulation driving them is.
+
+pub mod chrome;
+pub mod histogram;
+pub mod registry;
+pub mod series;
+pub mod span;
+
+pub use chrome::ChromeTrace;
+pub use histogram::Histogram;
+pub use registry::{CounterId, GaugeId, HistogramId, Registry};
+pub use series::{SeriesId, TimeSeries};
+pub use span::{SpanEvent, SpanId, SpanProfiler};

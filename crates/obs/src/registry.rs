@@ -1,0 +1,157 @@
+//! The metrics registry: named counters, gauges and histograms behind
+//! integer handles.
+//!
+//! Registration (naming) happens once, at construction time, and
+//! allocates; recording goes through the returned copyable handles and
+//! is a bare vector index — no hashing, no allocation, suitable for the
+//! simulator's hot loop.
+
+use crate::histogram::Histogram;
+
+/// Handle to a registered counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterId(usize);
+
+/// Handle to a registered gauge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GaugeId(usize);
+
+/// Handle to a registered histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramId(usize);
+
+/// A set of named metrics. Names are unique per kind.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Vec<(String, u64)>,
+    gauges: Vec<(String, f64)>,
+    histograms: Vec<(String, Histogram)>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a counter (starts at 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a duplicate counter name.
+    pub fn counter(&mut self, name: &str) -> CounterId {
+        assert!(
+            self.counters.iter().all(|(n, _)| n != name),
+            "duplicate counter '{name}'"
+        );
+        self.counters.push((name.to_string(), 0));
+        CounterId(self.counters.len() - 1)
+    }
+
+    /// Registers a gauge (starts at 0.0).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a duplicate gauge name.
+    pub fn gauge(&mut self, name: &str) -> GaugeId {
+        assert!(
+            self.gauges.iter().all(|(n, _)| n != name),
+            "duplicate gauge '{name}'"
+        );
+        self.gauges.push((name.to_string(), 0.0));
+        GaugeId(self.gauges.len() - 1)
+    }
+
+    /// Registers a histogram with the given bucket bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a duplicate histogram name or invalid bounds.
+    pub fn histogram(&mut self, name: &str, bounds: &[u64]) -> HistogramId {
+        assert!(
+            self.histograms.iter().all(|(n, _)| n != name),
+            "duplicate histogram '{name}'"
+        );
+        self.histograms.push((name.to_string(), Histogram::new(bounds)));
+        HistogramId(self.histograms.len() - 1)
+    }
+
+    /// Adds `by` to a counter. Allocation-free.
+    #[inline]
+    pub fn inc(&mut self, id: CounterId, by: u64) {
+        self.counters[id.0].1 += by;
+    }
+
+    /// Sets a gauge. Allocation-free.
+    #[inline]
+    pub fn set(&mut self, id: GaugeId, v: f64) {
+        self.gauges[id.0].1 = v;
+    }
+
+    /// Records one histogram sample. Allocation-free.
+    #[inline]
+    pub fn observe(&mut self, id: HistogramId, v: u64) {
+        self.histograms[id.0].1.record(v);
+    }
+
+    /// Current value of a counter.
+    pub fn counter_value(&self, id: CounterId) -> u64 {
+        self.counters[id.0].1
+    }
+
+    /// Current value of a gauge.
+    pub fn gauge_value(&self, id: GaugeId) -> f64 {
+        self.gauges[id.0].1
+    }
+
+    /// A registered histogram.
+    pub fn histogram_ref(&self, id: HistogramId) -> &Histogram {
+        &self.histograms[id.0].1
+    }
+
+    /// All counters `(name, value)` in registration order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(n, v)| (n.as_str(), *v))
+    }
+
+    /// All gauges `(name, value)` in registration order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.gauges.iter().map(|(n, v)| (n.as_str(), *v))
+    }
+
+    /// All histograms `(name, histogram)` in registration order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|(n, h)| (n.as_str(), h))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_gauges_histograms_round_trip() {
+        let mut r = Registry::new();
+        let c = r.counter("flits");
+        let g = r.gauge("load");
+        let h = r.histogram("lat", &[10, 100]);
+        r.inc(c, 3);
+        r.inc(c, 4);
+        r.set(g, 0.5);
+        r.observe(h, 7);
+        r.observe(h, 70);
+        assert_eq!(r.counter_value(c), 7);
+        assert_eq!(r.gauge_value(g), 0.5);
+        assert_eq!(r.histogram_ref(h).count(), 2);
+        assert_eq!(r.counters().collect::<Vec<_>>(), vec![("flits", 7)]);
+        assert_eq!(r.histograms().next().unwrap().0, "lat");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate counter")]
+    fn duplicate_counter_names_rejected() {
+        let mut r = Registry::new();
+        let _ = r.counter("x");
+        let _ = r.counter("x");
+    }
+}

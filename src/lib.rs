@@ -13,6 +13,7 @@
 //! * [`mcts`] — the EIR design-space search (MCTS, GA, SA)
 //! * [`phys`] — interposer physics (wires, crossings, µbumps)
 //! * [`exec`] — worker pool + deterministic PRNG streams
+//! * [`obs`] — metrics registry, span profiler, trace export
 //! * [`bench`] — experiment runners behind the repro binaries
 
 pub use equinox_bench as bench;
@@ -22,6 +23,7 @@ pub use equinox_exec as exec;
 pub use equinox_hbm as hbm;
 pub use equinox_mcts as mcts;
 pub use equinox_noc as noc;
+pub use equinox_obs as obs;
 pub use equinox_phys as phys;
 pub use equinox_placement as placement;
 pub use equinox_power as power;

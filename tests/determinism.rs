@@ -129,3 +129,34 @@ fn design_search_is_worker_count_independent() {
     set_threads(0);
     assert_eq!(a, b, "top-k placement fan-out must not depend on worker count");
 }
+
+/// One obs-armed EquiNox run's `equinox.obs/v1` block, pretty-printed.
+fn obs_snapshot() -> String {
+    let workload = Workload::new(benchmark("bfs").unwrap(), 0.05, 7);
+    let mut cfg = SystemConfig::new(SchemeKind::EquiNox, 8, workload);
+    cfg.obs = Some(equinox_suite::core::ObsConfig {
+        interval: 500,
+        ..Default::default()
+    });
+    let mut sys = System::build(cfg);
+    let m = sys.run();
+    assert!(m.completed);
+    sys.obs_json().expect("obs armed").pretty()
+}
+
+#[test]
+fn obs_block_is_worker_count_independent() {
+    // The artifact's obs/v1 block holds only cycle-derived data (the
+    // wall-clock span profile is exported separately, to the Chrome
+    // trace), so its full rendering — counters, latency histograms,
+    // time series, heat grids, link counters — must be byte-identical
+    // across repeated runs and worker counts.
+    set_threads(1);
+    let seq = obs_snapshot();
+    set_threads(4);
+    let par = obs_snapshot();
+    set_threads(0);
+    assert_eq!(seq, par, "obs block must not depend on worker count");
+    let again = obs_snapshot();
+    assert_eq!(seq, again, "obs block must be reproducible run-to-run");
+}
