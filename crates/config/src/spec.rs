@@ -65,6 +65,12 @@ pub struct ExperimentSpec {
     pub quick: bool,
     /// Worker-pool threads; 0 = auto (available parallelism).
     pub threads: usize,
+    /// Intra-run subnet-stepping lanes inside one `System::step`:
+    /// 1 (the default) steps subnets serially on the caller, `k > 1`
+    /// fans them over a persistent worker team, 0 picks
+    /// `cores / outer-pool threads` so outer × inner stays within the
+    /// machine. Artifacts are byte-identical for every value.
+    pub sim_threads: usize,
     /// Safety cap on simulated cycles per run.
     pub max_cycles: u64,
     /// NI message-queue capacity.
@@ -120,6 +126,7 @@ impl Default for ExperimentSpec {
             full: false,
             quick: false,
             threads: 0,
+            sim_threads: 1,
             max_cycles: 2_000_000,
             ni_queue_cap: 8,
             cb_inflight_cap: 128,
@@ -361,6 +368,7 @@ pub fn fields() -> &'static [FieldDef] {
         field!(flag "full", "--full", "EQUINOX_FULL", full, "run all 29 benchmarks (default: quick subset)"),
         field!(flag "quick", "--quick", "EQUINOX_QUICK", quick, "single-repetition perf measurements"),
         field!(uint "threads", "--threads", "EQUINOX_THREADS", threads: usize, "worker-pool threads (0 = auto)"),
+        field!(uint "sim_threads", "--sim-threads", "EQUINOX_SIM_THREADS", sim_threads: usize, "subnet-stepping lanes per run (1 = serial, 0 = cores/threads)"),
         field!(uint "max_cycles", "--max-cycles", "EQUINOX_MAX_CYCLES", max_cycles: u64, "safety cap on simulated cycles"),
         field!(uint "ni_queue_cap", "--ni-queue-cap", "EQUINOX_NI_QUEUE_CAP", ni_queue_cap: usize, "NI message-queue capacity"),
         field!(uint "cb_inflight_cap", "--cb-inflight-cap", "EQUINOX_CB_INFLIGHT_CAP", cb_inflight_cap: usize, "max requests inside one CB"),
@@ -517,6 +525,20 @@ mod tests {
         assert_eq!(s.trace_out, "x.json");
         assert!(s.set_json(f, &Json::Num(3.0), Layer::File).is_err());
         assert_eq!(s.provenance_of("trace_out"), Some(Layer::File));
+    }
+
+    #[test]
+    fn sim_threads_parses_through_every_layer_form() {
+        let mut s = ExperimentSpec::default();
+        assert_eq!(s.sim_threads, 1, "serial by default");
+        let f = field_by_flag("--sim-threads").unwrap();
+        assert_eq!(f.env, "EQUINOX_SIM_THREADS");
+        s.set_str(f, "4", Layer::Env).unwrap();
+        assert_eq!(s.sim_threads, 4);
+        s.set_json(f, &Json::Num(8.0), Layer::File).unwrap();
+        assert_eq!(s.sim_threads, 8);
+        assert_eq!(s.provenance_of("sim_threads"), Some(Layer::File));
+        assert!(s.set_str(f, "many", Layer::Cli).is_err());
     }
 
     #[test]

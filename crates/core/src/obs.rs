@@ -14,9 +14,12 @@
 //!   throughput, packets in flight, per-subnet link utilization, and
 //!   per-CB-group EIR injection load.
 //! * **Spans** — wall-clock timings of the phases of `System::step`
-//!   (quiescence scan, CB+HBM tick, PE tick, NI tick, per-subnet NoC
-//!   step, sink drain), kept out of the deterministic artifact and
-//!   exported only to the Chrome trace file.
+//!   (quiescence scan, CB+HBM tick, PE tick, NI tick, sink drain) plus
+//!   one labeled row per subnet (`noc_step_net{i}`) for the NoC
+//!   stepping phase — kept out of the deterministic artifact and
+//!   exported only to the Chrome trace file. Per-subnet rows are
+//!   recorded through a scratch-and-fold path when subnets step on
+//!   parallel lanes, so the profiler stays single-writer.
 //!
 //! The `obs/v1` artifact block ([`SystemObs::to_json`]) contains only
 //! cycle-derived data, so it is bit-identical across worker counts and
@@ -52,7 +55,11 @@ impl Default for ObsConfig {
     }
 }
 
-/// The instrumented phases of `System::step`, in registration order.
+/// The serial instrumented phases of `System::step`, in registration
+/// order. The per-subnet NoC stepping phase is *not* here: each subnet
+/// gets its own labeled span row (`noc_step_net{i}`, see
+/// [`SystemObs::end_noc_span`]) so the rows stay meaningful — and
+/// race-free — when subnets step on parallel lanes.
 #[derive(Debug, Clone, Copy)]
 pub(crate) enum Phase {
     /// Quiescence scan + fast-forward attempt.
@@ -63,18 +70,15 @@ pub(crate) enum Phase {
     PeTick,
     /// NI flit streaming into the networks.
     NiTick,
-    /// One subnet's network stepping (track = subnet index).
-    NocStep,
     /// Ejection-queue drains at PEs and CBs.
     SinkDrain,
 }
 
-const PHASE_NAMES: [&str; 6] = [
+const PHASE_NAMES: [&str; 5] = [
     "quiescence_scan",
     "cb_tick",
     "pe_tick",
     "ni_tick",
-    "noc_step",
     "sink_drain",
 ];
 
@@ -90,7 +94,9 @@ pub(crate) struct SystemObs {
     registry: Registry,
     series: TimeSeries,
     pub(crate) spans: SpanProfiler,
-    phases: [SpanId; 6],
+    phases: [SpanId; 5],
+    /// One span row per network (`noc_step_net{i}`).
+    noc_spans: Vec<SpanId>,
     c_ff_jumps: CounterId,
     c_ff_cycles: CounterId,
     c_req_pkts: CounterId,
@@ -144,13 +150,17 @@ impl SystemObs {
 
         let mut spans = SpanProfiler::new(cfg.span_capacity);
         let phases: Vec<SpanId> = PHASE_NAMES.iter().map(|n| spans.register(n)).collect();
+        let noc_spans: Vec<SpanId> = (0..nets.len())
+            .map(|i| spans.register(&format!("noc_step_net{i}")))
+            .collect();
         let width = nets.len() + eir_groups.len() + 3;
         let n_eir = eir_groups.len();
         SystemObs {
             registry,
             series,
             spans,
-            phases: phases.try_into().expect("six phases"),
+            phases: phases.try_into().expect("five phases"),
+            noc_spans,
             c_ff_jumps,
             c_ff_cycles,
             c_req_pkts,
@@ -186,6 +196,24 @@ impl SystemObs {
     pub(crate) fn end_span(&mut self, phase: Phase, track: u64, start_ns: u64, cycle: u64) {
         let id = self.phases[phase as usize];
         self.spans.record(id, track, start_ns, cycle);
+    }
+
+    /// Closes subnet `net`'s NoC-step span opened at `start_ns`
+    /// (serial stepping path).
+    #[inline]
+    pub(crate) fn end_noc_span(&mut self, net: usize, start_ns: u64, cycle: u64) {
+        let id = self.noc_spans[net];
+        self.spans.record(id, net as u64, start_ns, cycle);
+    }
+
+    /// Records subnet `net`'s NoC-step span from endpoints stamped on a
+    /// worker lane (both relative to the profiler's epoch). The caller
+    /// folds these in subnet-index order after the barrier, so the span
+    /// profile stays single-writer no matter how many lanes stepped.
+    #[inline]
+    pub(crate) fn end_noc_span_closed(&mut self, net: usize, start_ns: u64, end_ns: u64, cycle: u64) {
+        let id = self.noc_spans[net];
+        self.spans.record_closed(id, net as u64, start_ns, end_ns, cycle);
     }
 
     /// Notes a quiescence fast-forward of `k` cycles.

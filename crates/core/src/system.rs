@@ -20,6 +20,7 @@ use equinox_noc::network::Network;
 use equinox_phys::{BumpModel, Coord, WireModel};
 use equinox_placement::Placement;
 use equinox_power::{EnergyModel, EventCounts, NiGeometry, RouterGeometry};
+use equinox_exec::StepTeam;
 use equinox_traffic::{Pe, Workload};
 
 /// Build-time parameters of a run.
@@ -75,6 +76,15 @@ pub struct SystemConfig {
     /// Per-network flit-trace ring capacity; 0 (the default) disables
     /// tracing. Drivers fill it in from `--trace` / `--trace-capacity`.
     pub trace_capacity: usize,
+    /// Intra-run subnet-stepping lanes: 1 (the default) steps every
+    /// network serially on the caller; `k > 1` fans the per-subnet NoC
+    /// phase over a persistent [`equinox_exec::StepTeam`] spawned once
+    /// at build time; 0 picks `available cores / outer worker-pool
+    /// threads` so outer × inner stays within the machine. Subnets own
+    /// all their mutable state and the task→lane assignment is a fixed
+    /// stride, so artifacts are byte-identical for every value. Drivers
+    /// fill it in from `--sim-threads` / `EQUINOX_SIM_THREADS`.
+    pub sim_threads: usize,
 }
 
 impl SystemConfig {
@@ -100,6 +110,7 @@ impl SystemConfig {
             activity_gate: true,
             obs: None,
             trace_capacity: 0,
+            sim_threads: 1,
         }
     }
 
@@ -141,6 +152,7 @@ impl SystemConfig {
             ..Default::default()
         });
         self.trace_capacity = if spec.trace { spec.trace_capacity } else { 0 };
+        self.sim_threads = spec.sim_threads;
     }
 }
 
@@ -197,7 +209,37 @@ pub struct System {
     /// Observability state; `None` keeps the hot loop on the
     /// one-branch-per-event fast path.
     obs: Option<Box<SystemObs>>,
+    /// Persistent subnet-stepping team, armed when the resolved
+    /// `sim_threads` and the subnet count both exceed 1; `None` keeps
+    /// the per-subnet NoC phase serial on the caller.
+    team: Option<StepTeam>,
+    /// Per-subnet `(start_ns, end_ns)` wall-clock scratch for the
+    /// parallel NoC phase: each lane stamps only its own subnets'
+    /// slots, the leader folds them into the span profiler in
+    /// subnet-index order after the barrier. Preallocated at build so
+    /// the parallel step path stays allocation-free.
+    noc_span_scratch: Vec<(u64, u64)>,
 }
+
+/// Raw-pointer wrapper for `&mut`-disjoint element access from
+/// [`StepTeam`] tasks: task `i` may touch only element `i`, so the
+/// aliasing is index-disjoint even though the pointer is shared.
+struct DisjointMut<T>(*mut T);
+
+impl<T> DisjointMut<T> {
+    /// Pointer to element `i`. Going through a method (rather than the
+    /// `.0` field) keeps closure capture on the whole wrapper, so the
+    /// `Sync` impl below applies.
+    fn at(&self, i: usize) -> *mut T {
+        self.0.wrapping_add(i)
+    }
+}
+
+// SAFETY: sharing the wrapper across lanes is sound because every task
+// dereferences a distinct element (enforced by the single caller
+// below), and the team's barrier orders all writes before the leader
+// resumes.
+unsafe impl<T: Send> Sync for DisjointMut<T> {}
 
 impl System {
     /// Builds the machine for `cfg`.
@@ -533,7 +575,10 @@ impl System {
             .map(|o| Box::new(SystemObs::new(o, &nets, eir_groups, cfg.max_cycles)));
 
         let total_instrs = cfg.workload.total_instrs(pe_count);
+        let lanes = resolved_sim_threads(cfg.sim_threads, nets.len());
+        let team = (lanes > 1).then(|| StepTeam::new(lanes));
         let steps = steps_per_two.clone();
+        let n_nets = steps.len();
         let retired: Vec<bool> = pes
             .iter()
             .map(|p| p.as_ref().is_some_and(|pe| pe.done()))
@@ -566,8 +611,15 @@ impl System {
             sys_last_progress_cycle: 0,
             audit_findings: Vec::new(),
             obs,
+            noc_span_scratch: vec![(0, 0); n_nets],
+            team,
             cfg,
         }
+    }
+
+    /// Lanes the per-subnet NoC phase actually runs on (1 = serial).
+    pub fn sim_lanes(&self) -> usize {
+        self.team.as_ref().map_or(1, StepTeam::lanes)
     }
 
     /// Pre-reserves packet-tracker capacity for `n` more packets, so a
@@ -670,15 +722,62 @@ impl System {
             ni.tick(&mut self.nets, &mut self.tracker, t);
         }
         self.span_end(Phase::NiTick, 0, s);
-        // Networks advance (subnets may step more than once).
-        for i in 0..self.nets.len() {
-            let s = self.span_start();
-            self.step_accum[i] += self.steps_per_two[i];
-            while self.step_accum[i] >= 2 {
-                self.nets[i].step();
-                self.step_accum[i] -= 2;
+        // Networks advance (subnets may step more than once). Each
+        // network owns every piece of state its `step` touches (VC
+        // buffers, stats, audit, trace ring, worklists), so with a
+        // team armed the per-subnet phase fans out between two
+        // barriers; the phases before and after stay serial at the
+        // boundaries. Task i = subnet i always, so results are
+        // byte-identical to the serial loop below.
+        match &self.team {
+            Some(team) => {
+                let epoch = self.obs.as_ref().map(|o| o.spans.epoch());
+                let nets = DisjointMut(self.nets.as_mut_ptr());
+                let accum = DisjointMut(self.step_accum.as_mut_ptr());
+                let scratch = DisjointMut(self.noc_span_scratch.as_mut_ptr());
+                let steps_per_two = &self.steps_per_two;
+                team.run(steps_per_two.len(), &|i| {
+                    let t0 = epoch.map_or(0, |e| e.elapsed().as_nanos() as u64);
+                    // SAFETY: task i touches only element i of each
+                    // vector (all sized to the subnet count), and the
+                    // team runs each task exactly once per round.
+                    unsafe {
+                        let acc = &mut *accum.at(i);
+                        let net = &mut *nets.at(i);
+                        *acc += *steps_per_two.get_unchecked(i);
+                        while *acc >= 2 {
+                            net.step();
+                            *acc -= 2;
+                        }
+                        if let Some(e) = epoch {
+                            *scratch.at(i) = (t0, e.elapsed().as_nanos() as u64);
+                        }
+                    }
+                });
+                if self.obs.is_some() {
+                    let cycle = self.cycle;
+                    for i in 0..self.noc_span_scratch.len() {
+                        let (s_ns, e_ns) = self.noc_span_scratch[i];
+                        if let Some(o) = self.obs.as_deref_mut() {
+                            o.end_noc_span_closed(i, s_ns, e_ns, cycle);
+                        }
+                    }
+                }
             }
-            self.span_end(Phase::NocStep, i as u64, s);
+            None => {
+                for i in 0..self.nets.len() {
+                    let s = self.span_start();
+                    self.step_accum[i] += self.steps_per_two[i];
+                    while self.step_accum[i] >= 2 {
+                        self.nets[i].step();
+                        self.step_accum[i] -= 2;
+                    }
+                    let cycle = self.cycle;
+                    if let Some(o) = self.obs.as_deref_mut() {
+                        o.end_noc_span(i, s, cycle);
+                    }
+                }
+            }
         }
         // Drain replies at PEs. A network with nothing in any eject
         // queue (O(1) check) cannot satisfy a pop, so its sinks are
@@ -1132,6 +1231,22 @@ impl System {
     }
 }
 
+/// Resolves the configured `sim_threads` into a lane count for this
+/// machine. `0` = auto: `available_parallelism / outer worker-pool
+/// threads` (at least 1), the documented heuristic keeping
+/// outer × inner within the machine when sweeps fan whole simulations
+/// out via [`equinox_exec::par_map`]. The result is clamped to the
+/// subnet count — extra lanes would only idle at the barrier.
+fn resolved_sim_threads(requested: usize, n_nets: usize) -> usize {
+    let k = if requested == 0 {
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        (cores / equinox_exec::thread_count().max(1)).max(1)
+    } else {
+        requested
+    };
+    k.min(n_nets)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1270,6 +1385,73 @@ mod tests {
         }
         assert_eq!(req, rep, "one reply per request");
         assert_eq!(undelivered, 0, "everything delivered at completion");
+    }
+
+    #[test]
+    fn sim_thread_resolution_clamps_and_autosizes() {
+        assert_eq!(resolved_sim_threads(1, 9), 1, "explicit serial stays serial");
+        assert_eq!(resolved_sim_threads(4, 9), 4);
+        assert_eq!(resolved_sim_threads(16, 9), 9, "clamped to the subnet count");
+        assert_eq!(resolved_sim_threads(4, 1), 1, "single-net schemes stay serial");
+        assert!(resolved_sim_threads(0, 9) >= 1, "auto is always at least 1");
+    }
+
+    #[test]
+    fn parallel_subnet_stepping_is_bit_identical() {
+        // The acceptance contract of intra-run parallelism: the nine
+        // DA2Mesh networks (2.5:1 subnet clocks exercise the accumulator
+        // math) produce the same cycles/energy/latency for any lane
+        // count, including lane counts above the subnet count.
+        let go = |sim_threads: usize| {
+            let mut cfg = SystemConfig::new(SchemeKind::Da2Mesh, 8, tiny_workload("hotspot"));
+            cfg.max_cycles = 200_000;
+            cfg.sim_threads = sim_threads;
+            let mut sys = System::build(cfg);
+            let m = sys.run();
+            assert!(m.completed, "stalled at cycle {}", m.cycles);
+            let stats: Vec<_> = sys.networks().iter().map(|n| n.stats().clone()).collect();
+            (m.cycles, m.energy_j(), m.latency.total_ns(), stats)
+        };
+        let serial = go(1);
+        for k in [2, 4, 16] {
+            let par = go(k);
+            assert_eq!(serial.0, par.0, "cycles diverged at {k} lanes");
+            assert_eq!(
+                serial.1.to_bits(),
+                par.1.to_bits(),
+                "energy diverged at {k} lanes"
+            );
+            assert_eq!(
+                serial.2.to_bits(),
+                par.2.to_bits(),
+                "latency diverged at {k} lanes"
+            );
+            assert_eq!(serial.3, par.3, "per-network counters diverged at {k} lanes");
+        }
+    }
+
+    #[test]
+    fn parallel_stepping_composes_with_gate_audit_and_obs() {
+        let go = |sim_threads: usize| {
+            let mut cfg = SystemConfig::new(SchemeKind::Da2Mesh, 8, tiny_workload("bfs"));
+            cfg.max_cycles = 200_000;
+            cfg.audit = Some(equinox_noc::AuditConfig::default());
+            cfg.obs = Some(crate::obs::ObsConfig {
+                interval: 500,
+                ..Default::default()
+            });
+            cfg.sim_threads = sim_threads;
+            let mut sys = System::build(cfg);
+            let m = sys.run();
+            assert!(m.completed);
+            let sweeps: Vec<u64> = sys.networks().iter().map(|n| n.audit_sweeps()).collect();
+            (m.cycles, sweeps, sys.obs_json().expect("obs armed").pretty())
+        };
+        let serial = go(1);
+        let par = go(4);
+        assert_eq!(serial.0, par.0, "cycles diverged");
+        assert_eq!(serial.1, par.1, "audit sweep schedules diverged");
+        assert_eq!(serial.2, par.2, "obs/v1 block must be byte-identical");
     }
 
     #[test]

@@ -88,4 +88,42 @@ fn full_system_step_is_allocation_free_at_saturation() {
         outstanding + req_backlog + cb_inflight + rep_backlog > 0,
         "machine must still be loaded after the window"
     );
+    drop(sys);
+
+    // Same guarantee with the per-subnet phase fanned over the step
+    // team (DA2Mesh: one request mesh + eight reply subnets on 4
+    // lanes). The team's threads spawn inside `System::build`, task
+    // dispatch reuses the preallocated epoch/condvar machinery, and
+    // the per-subnet span scratch is sized at build — so the counter,
+    // which sees *every* thread in the process, must stay flat across
+    // the measured window here too.
+    let workload = Workload::new(benchmark("bfs").unwrap(), 2.0, 7);
+    let mut cfg = SystemConfig::new(SchemeKind::Da2Mesh, 8, workload);
+    cfg.sim_threads = 4;
+    let mut sys = System::build(cfg);
+    assert_eq!(sys.sim_lanes(), 4, "team must actually be armed");
+    sys.reserve_packets(1 << 20);
+    for _ in 0..19_000 {
+        sys.step();
+    }
+    let flits_before: u64 = sys.networks().iter().map(|n| n.stats().ejected_flits).sum();
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for _ in 0..2_000 {
+        sys.step();
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+
+    assert_eq!(
+        after - before,
+        0,
+        "parallel System::step allocated {} times in the steady-state window",
+        after - before
+    );
+    let flits_after: u64 = sys.networks().iter().map(|n| n.stats().ejected_flits).sum();
+    assert!(
+        flits_after - flits_before > 1_000,
+        "parallel window must carry real traffic (got {} flits)",
+        flits_after - flits_before
+    );
 }

@@ -8,6 +8,10 @@
 //!   streams, load-latency sample points) across cores with no external
 //!   dependency. Thread count comes from `--threads` /
 //!   `EQUINOX_THREADS` / available parallelism.
+//! * [`team`] — a persistent worker team ([`StepTeam`]) for intra-run
+//!   parallelism: spawned once per `System`, handed a borrowed task
+//!   closure per cycle phase through an epoch barrier, with a fixed
+//!   task→lane stride so work placement is reproducible.
 //! * [`rng`] — a deterministic splitmix64 + xoshiro256** PRNG
 //!   ([`Rng`]) replacing the external `rand` crate, with explicit
 //!   stream splitting ([`Rng::stream`]) so parallel work is
@@ -16,9 +20,13 @@
 //! The determinism contract: any function that uses `par_map` +
 //! per-job `Rng::stream` produces output that is a pure function of
 //! its inputs and seed — never of thread count or scheduling order.
+//! [`StepTeam`] extends it to mutable fan-out: tasks own disjoint
+//! state, so results are independent of the lane count too.
 
 pub mod pool;
 pub mod rng;
+pub mod team;
 
 pub use pool::{par_map, par_map_with, set_threads, thread_count};
 pub use rng::{splitmix64, RangeSample, Rng, Sample};
+pub use team::StepTeam;

@@ -18,15 +18,22 @@
 #      ~3.5×. A broken, disabled, or regressed gate fails this bound on
 #      any hardware.
 #
+#   3. `sim_thread_speedup` (saturated DA2Mesh at sim-threads=4 vs 1)
+#      must reach PERF_GATE_SIM_RATIO on machines with at least 4 cores.
+#      Like bound 2 this is a within-run ratio, so it is machine-speed
+#      independent; it is skipped (with a notice) when the runner has
+#      fewer than 4 cores, where a 4-lane team cannot physically scale.
+#
 # Usage: scripts/perf_gate.sh
 # Env:   PERF_GATE_MIN_PCT (default 40), PERF_GATE_RATIO (default 6),
-#        PERF_GATE_SCALE (default 0.15)
+#        PERF_GATE_SIM_RATIO (default 1.5), PERF_GATE_SCALE (default 0.15)
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 MIN_PCT="${PERF_GATE_MIN_PCT:-40}"
 RATIO="${PERF_GATE_RATIO:-6}"
+SIM_RATIO="${PERF_GATE_SIM_RATIO:-1.5}"
 SCALE="${PERF_GATE_SCALE:-0.15}"
 
 if [ ! -x target/release/perf ]; then
@@ -58,4 +65,20 @@ if [ "$low" -lt "$floor" ]; then
     exit 1
 fi
 
-echo "perf_gate: OK — single $single >= $min (${MIN_PCT}% of $base), low-load $low >= ${RATIO}x single ($floor)"
+speedup=$(echo "$out" | sed -n 's/.*"sim_thread_speedup": \([0-9.]*\).*/\1/p')
+cores=$(echo "$out" | sed -n 's/.*"cores": \([0-9]*\).*/\1/p')
+if [ -z "$speedup" ] || [ -z "$cores" ]; then
+    echo "perf_gate: failed to parse sim-thread fields (speedup='$speedup' cores='$cores')" >&2
+    exit 1
+fi
+if [ "$cores" -ge 4 ]; then
+    if ! awk -v s="$speedup" -v r="$SIM_RATIO" 'BEGIN { exit !(s >= r) }'; then
+        echo "perf_gate: FAIL — sim_thread_speedup ${speedup}x < ${SIM_RATIO}x on a ${cores}-core runner: intra-run parallelism regressed" >&2
+        exit 1
+    fi
+    sim_note="sim-thread speedup ${speedup}x >= ${SIM_RATIO}x"
+else
+    sim_note="sim-thread speedup check skipped (${cores} cores < 4; measured ${speedup}x)"
+fi
+
+echo "perf_gate: OK — single $single >= $min (${MIN_PCT}% of $base), low-load $low >= ${RATIO}x single ($floor), $sim_note"
