@@ -23,7 +23,10 @@
 //!   for activity-gated stepping), and
 //! * `sweep_wall_s` — wall-clock seconds for the quick scheme × benchmark
 //!   repro sweep on the worker pool (the parallel-fan-out figure of
-//!   merit).
+//!   merit), plus `sweep_cached_wall_s` / `cached_sweep_speedup` for
+//!   the same sweep served from the content-addressed result cache
+//!   (the `--checkpoint-dir` figure of merit; the perf gate bounds the
+//!   speedup).
 //!
 //! The EquiNox design search is pre-warmed outside both timed regions so
 //! the numbers measure the simulator, not the one-off MCTS. A committed

@@ -28,6 +28,7 @@ use equinox_traffic::{profile::all_benchmarks, Workload};
 use std::sync::OnceLock;
 
 pub mod artifact;
+pub mod cache;
 pub mod scenarios;
 
 /// Iterations used for the "strong" (publication-quality) design search.
@@ -117,6 +118,27 @@ pub fn timed_run(scheme: SchemeKind, n: u16, bench: &str, scale: f64, seed: u64)
 /// benchmarks).
 pub fn run_seeds_spec(scheme: SchemeKind, n: u16, bench: &str, spec: &ExperimentSpec) -> RunMetrics {
     assert!(!spec.seeds.is_empty(), "need at least one seed");
+    // With a checkpoint dir armed, finished cells are content-addressed
+    // on disk: a hit replays the bit-exact metrics, a miss computes and
+    // stores them. Corrupt or colliding entries fall through to a
+    // recompute (see the `cache` module's soundness notes).
+    if let Some(c) = cache::cache_for(spec) {
+        let key = cache::run_key(scheme, n, bench, spec);
+        if let Ok(Some(bytes)) = c.load("run", key) {
+            if let Ok(m) = cache::decode_metrics(&bytes) {
+                if m.scheme == scheme && m.benchmark == bench {
+                    return m;
+                }
+            }
+        }
+        let m = run_seeds_uncached(scheme, n, bench, spec);
+        let _ = c.store("run", key, &cache::encode_metrics(&m));
+        return m;
+    }
+    run_seeds_uncached(scheme, n, bench, spec)
+}
+
+fn run_seeds_uncached(scheme: SchemeKind, n: u16, bench: &str, spec: &ExperimentSpec) -> RunMetrics {
     let mut runs: Vec<RunMetrics> = spec
         .seeds
         .iter()

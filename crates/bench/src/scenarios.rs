@@ -15,7 +15,7 @@ use crate::artifact::{load_point_json, run_metrics_json};
 use crate::{bench_set, design_for, run_matrix_spec, run_one_spec, run_seeds_spec, strong_design_8x8, timed_run_spec};
 use equinox_config::{ExperimentSpec, Json};
 use equinox_core::heatmap::placement_heatmap;
-use equinox_core::loadlat::{load_latency_curve_cfg, ReplySide};
+use equinox_core::loadlat::{load_latency_curve_cfg, load_latency_curve_checkpointed, ReplySide};
 use equinox_core::svg::{design_svg, heatmap_svg};
 use equinox_core::{EquiNoxDesign, ObsConfig, RunMetrics, SchemeKind, System, SystemConfig};
 use equinox_mcts::eval::{evaluate, EvalWeights};
@@ -739,24 +739,35 @@ fn loadlat(spec: &ExperimentSpec, log: &mut dyn Write) -> Json {
     let rates: Vec<f64> = (1..=20).map(|i| i as f64 / 20.0).collect();
     let audit = audit_cfg(spec);
     let seed = spec.seeds[0];
-    let base = load_latency_curve_cfg(
-        &design.placement,
-        &ReplySide::Local,
-        &rates,
-        spec.cycles,
-        seed,
-        audit.clone(),
-        spec.activity_gate,
-    );
-    let eq = load_latency_curve_cfg(
-        &design.placement,
-        &ReplySide::Equinox(design.clone()),
-        &rates,
-        spec.cycles,
-        seed,
-        audit,
-        spec.activity_gate,
-    );
+    // With a checkpoint dir armed, each point's warm-up phase is
+    // snapshotted/restored through the content-addressed cache; the
+    // curves are bit-identical either way.
+    let curve = |side: &ReplySide, audit: Option<equinox_noc::AuditConfig>| {
+        if spec.checkpoint_dir.is_empty() {
+            load_latency_curve_cfg(
+                &design.placement,
+                side,
+                &rates,
+                spec.cycles,
+                seed,
+                audit,
+                spec.activity_gate,
+            )
+        } else {
+            load_latency_curve_checkpointed(
+                &design.placement,
+                side,
+                &rates,
+                spec.cycles,
+                seed,
+                audit,
+                spec.activity_gate,
+                &spec.checkpoint_dir,
+            )
+        }
+    };
+    let base = curve(&ReplySide::Local, audit.clone());
+    let eq = curve(&ReplySide::Equinox(design.clone()), audit);
     out!(log, "measured {} rates x 2 sides over {} cycles", rates.len(), spec.cycles);
     Json::obj()
         .with("links", design.num_links())
@@ -835,6 +846,29 @@ fn perf(spec: &ExperimentSpec, log: &mut dyn Write) -> Json {
     let sweep_wall_s = t0.elapsed().as_secs_f64();
     let sims = rows.iter().map(Vec::len).sum::<usize>() * spec.seeds.len();
 
+    // The same sweep served from the content-addressed result cache: a
+    // throwaway checkpoint dir is populated (untimed), then the
+    // cache-served pass is timed. The perf gate bounds the speedup.
+    out!(log, "measuring cache-served sweep…");
+    let ckpt = std::env::temp_dir().join(format!("equinox_perf_ckpt_{}", std::process::id()));
+    let mut cspec = spec.clone();
+    cspec.checkpoint_dir = ckpt.to_string_lossy().into_owned();
+    std::fs::remove_dir_all(&ckpt).ok();
+    let warm = run_matrix_spec(&SchemeKind::ALL, 8, &crate::QUICK_BENCHES, &cspec);
+    let t0 = Instant::now();
+    let cached = run_matrix_spec(&SchemeKind::ALL, 8, &crate::QUICK_BENCHES, &cspec);
+    let sweep_cached_wall_s = t0.elapsed().as_secs_f64();
+    std::fs::remove_dir_all(&ckpt).ok();
+    for (a, b) in warm.iter().flatten().zip(cached.iter().flatten()) {
+        assert_eq!(a.cycles, b.cycles, "cache served different metrics");
+        assert_eq!(a.edp.to_bits(), b.edp.to_bits(), "cache served different metrics");
+    }
+    let cached_sweep_speedup = if sweep_cached_wall_s > 0.0 {
+        sweep_wall_s / sweep_cached_wall_s
+    } else {
+        f64::INFINITY
+    };
+
     Json::obj()
         .with("single_cycles_per_sec", best_rate.round())
         .with("da2mesh_cycles_per_sec", da2_rate[0].round())
@@ -842,6 +876,8 @@ fn perf(spec: &ExperimentSpec, log: &mut dyn Write) -> Json {
         .with("sim_thread_speedup", (sim_thread_speedup * 1000.0).round() / 1000.0)
         .with("low_load_cycles_per_sec", low_load_rate.round())
         .with("sweep_wall_s", (sweep_wall_s * 1000.0).round() / 1000.0)
+        .with("sweep_cached_wall_s", (sweep_cached_wall_s * 1000.0).round() / 1000.0)
+        .with("cached_sweep_speedup", (cached_sweep_speedup * 1000.0).round() / 1000.0)
         .with("sweep_sims", sims)
         .with("threads", equinox_exec::thread_count())
         .with(

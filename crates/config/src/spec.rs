@@ -112,6 +112,10 @@ pub struct ExperimentSpec {
     pub trace_out: String,
     /// Flit-trace ring capacity per network (oldest events drop).
     pub trace_capacity: usize,
+    /// Directory for the content-addressed warm-state and result cache
+    /// (empty = caching off). Never part of a run's cache key: two runs
+    /// that differ only here are the same experiment.
+    pub checkpoint_dir: String,
     provenance: Vec<Layer>,
 }
 
@@ -145,6 +149,7 @@ impl Default for ExperimentSpec {
             trace: false,
             trace_out: String::new(),
             trace_capacity: 65_536,
+            checkpoint_dir: String::new(),
             provenance: vec![Layer::Default; fields().len()],
         }
     }
@@ -208,6 +213,26 @@ impl ExperimentSpec {
             prov = prov.with(f.name, self.provenance[i].name());
         }
         spec.with("provenance", prov)
+    }
+
+    /// Canonical cache-key material for content-addressed result
+    /// caching: every registered field except `checkpoint_dir`, rendered
+    /// as `name=compact-json` lines in registry order. Provenance is
+    /// excluded (the resolved values define the experiment, not which
+    /// layer set them), and so is the cache location itself — moving the
+    /// cache directory must never change what is cached.
+    pub fn cache_key_material(&self) -> String {
+        let mut s = String::new();
+        for f in fields() {
+            if f.name == "checkpoint_dir" {
+                continue;
+            }
+            s.push_str(f.name);
+            s.push('=');
+            s.push_str(&(f.get_json)(self).to_compact());
+            s.push('\n');
+        }
+        s
     }
 }
 
@@ -424,6 +449,25 @@ pub fn fields() -> &'static [FieldDef] {
             get_json: |s| Json::Str(s.trace_out.clone()),
         },
         field!(uint "trace_capacity", "--trace-capacity", "EQUINOX_TRACE_CAPACITY", trace_capacity: usize, "flit-trace ring capacity per network"),
+        FieldDef {
+            name: "checkpoint_dir",
+            flag: "--checkpoint-dir",
+            env: "EQUINOX_CHECKPOINT_DIR",
+            takes_value: true,
+            help: "content-addressed warm-state and result cache directory (empty = off)",
+            set_str: |s, v| {
+                s.checkpoint_dir = v.trim().to_string();
+                Ok(())
+            },
+            set_json: |s, v| {
+                s.checkpoint_dir = v
+                    .as_str()
+                    .ok_or_else(|| format!("expected a string path, got {}", v.to_compact()))?
+                    .to_string();
+                Ok(())
+            },
+            get_json: |s| Json::Str(s.checkpoint_dir.clone()),
+        },
     ];
     FIELDS
 }
@@ -525,6 +569,34 @@ mod tests {
         assert_eq!(s.trace_out, "x.json");
         assert!(s.set_json(f, &Json::Num(3.0), Layer::File).is_err());
         assert_eq!(s.provenance_of("trace_out"), Some(Layer::File));
+    }
+
+    #[test]
+    fn checkpoint_dir_parses_both_ways() {
+        let mut s = ExperimentSpec::default();
+        assert!(s.checkpoint_dir.is_empty(), "caching off by default");
+        let f = field_by_flag("--checkpoint-dir").unwrap();
+        assert_eq!(f.env, "EQUINOX_CHECKPOINT_DIR");
+        s.set_str(f, " /tmp/ck ", Layer::Cli).unwrap();
+        assert_eq!(s.checkpoint_dir, "/tmp/ck");
+        s.set_json(f, &Json::Str("/tmp/other".into()), Layer::File).unwrap();
+        assert_eq!(s.checkpoint_dir, "/tmp/other");
+        assert!(s.set_json(f, &Json::Num(1.0), Layer::File).is_err());
+        assert_eq!(s.provenance_of("checkpoint_dir"), Some(Layer::File));
+    }
+
+    #[test]
+    fn cache_key_material_ignores_cache_location_and_provenance() {
+        let mut a = ExperimentSpec::default();
+        let mut b = ExperimentSpec::default();
+        let dir = field_by_name("checkpoint_dir").unwrap();
+        b.set_str(dir, "/tmp/elsewhere", Layer::Cli).unwrap();
+        // Same experiment, different cache dir and provenance → same key.
+        assert_eq!(a.cache_key_material(), b.cache_key_material());
+        assert!(!a.cache_key_material().contains("checkpoint_dir"));
+        // Any experiment knob changes the key material.
+        a.set_str(field_by_name("scale").unwrap(), "0.25", Layer::Cli).unwrap();
+        assert_ne!(a.cache_key_material(), b.cache_key_material());
     }
 
     #[test]

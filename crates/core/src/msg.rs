@@ -113,6 +113,49 @@ pub struct PacketRecord {
     pub compressed: bool,
 }
 
+impl equinox_snap::Snap for MemOpKind {
+    fn snap(&self, e: &mut equinox_snap::Enc) {
+        e.put_u8(match self {
+            MemOpKind::Read => 0,
+            MemOpKind::Write => 1,
+        });
+    }
+
+    fn restore(d: &mut equinox_snap::Dec) -> Result<Self, equinox_snap::SnapError> {
+        match d.u8()? {
+            0 => Ok(MemOpKind::Read),
+            1 => Ok(MemOpKind::Write),
+            _ => Err(equinox_snap::SnapError::BadValue("mem op tag")),
+        }
+    }
+}
+
+impl equinox_snap::Snap for Message {
+    fn snap(&self, e: &mut equinox_snap::Enc) {
+        e.put_u64(self.id);
+        e.put_u16(self.src.x);
+        e.put_u16(self.src.y);
+        e.put_u16(self.dst.x);
+        e.put_u16(self.dst.y);
+        self.class.snap(e);
+        self.op.snap(e);
+        e.put_u64(self.addr);
+        e.put_bool(self.compressed);
+    }
+
+    fn restore(d: &mut equinox_snap::Dec) -> Result<Self, equinox_snap::SnapError> {
+        Ok(Message {
+            id: d.u64()?,
+            src: Coord::new(d.u16()?, d.u16()?),
+            dst: Coord::new(d.u16()?, d.u16()?),
+            class: MessageClass::restore(d)?,
+            op: MemOpKind::restore(d)?,
+            addr: d.u64()?,
+            compressed: d.bool()?,
+        })
+    }
+}
+
 /// Per-class latency split in nanoseconds (Figure 10's four bars).
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct LatencyBreakdown {
@@ -141,6 +184,36 @@ impl LatencyBreakdown {
     /// Reply latency (queue + network).
     pub fn reply_ns(&self) -> f64 {
         self.rep_queue_ns + self.rep_net_ns
+    }
+}
+
+impl equinox_snap::Snap for PacketRecord {
+    fn snap(&self, e: &mut equinox_snap::Enc) {
+        e.put_u16(self.src.x);
+        e.put_u16(self.src.y);
+        e.put_u16(self.dst.x);
+        e.put_u16(self.dst.y);
+        self.class.snap(e);
+        self.op.snap(e);
+        e.put_u64(self.addr);
+        e.put_u64(self.created);
+        self.injected.snap(e);
+        self.ejected.snap(e);
+        e.put_bool(self.compressed);
+    }
+
+    fn restore(d: &mut equinox_snap::Dec) -> Result<Self, equinox_snap::SnapError> {
+        Ok(PacketRecord {
+            src: Coord::new(d.u16()?, d.u16()?),
+            dst: Coord::new(d.u16()?, d.u16()?),
+            class: MessageClass::restore(d)?,
+            op: MemOpKind::restore(d)?,
+            addr: d.u64()?,
+            created: d.u64()?,
+            injected: Option::restore(d)?,
+            ejected: Option::restore(d)?,
+            compressed: d.bool()?,
+        })
     }
 }
 
@@ -317,6 +390,33 @@ impl PacketTracker {
     }
 }
 
+impl equinox_snap::Snap for PacketTracker {
+    fn snap(&self, e: &mut equinox_snap::Enc) {
+        self.records.snap(e);
+        e.put_u64(self.injected_count);
+        e.put_u64(self.ejected_count);
+    }
+
+    fn restore(d: &mut equinox_snap::Dec) -> Result<Self, equinox_snap::SnapError> {
+        use equinox_snap::SnapError;
+        let records: Vec<PacketRecord> = Vec::restore(d)?;
+        let injected_count = d.u64()?;
+        let ejected_count = d.u64()?;
+        // The counters increment exactly once per record's None→Some
+        // transition, so they must agree with the record table.
+        if injected_count != records.iter().filter(|r| r.injected.is_some()).count() as u64
+            || ejected_count != records.iter().filter(|r| r.ejected.is_some()).count() as u64
+        {
+            return Err(SnapError::BadValue("tracker counters disagree with records"));
+        }
+        Ok(PacketTracker {
+            records,
+            injected_count,
+            ejected_count,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -388,6 +488,55 @@ mod tests {
         // never ejected
         let b = t.latency_breakdown(1.0);
         assert_eq!(b.total_ns(), 0.0);
+    }
+
+    #[test]
+    fn tracker_snapshot_round_trips_and_validates() {
+        use equinox_snap::{Dec, Enc, Snap, SnapError};
+        let mut t = PacketTracker::new();
+        for i in 0..6u64 {
+            let m = t.create(
+                Coord::new(0, 0),
+                Coord::new(3, 2),
+                if i % 2 == 0 { MessageClass::Request } else { MessageClass::Reply },
+                if i % 3 == 0 { MemOpKind::Write } else { MemOpKind::Read },
+                i * 64,
+                i,
+            );
+            if i < 4 {
+                t.mark_injected(m.id, i + 2);
+            }
+            if i < 2 {
+                t.mark_ejected(m.id, i + 9);
+            }
+        }
+        let mut e = Enc::new();
+        t.snap(&mut e);
+        let bytes = e.into_bytes();
+
+        let mut d = Dec::new(&bytes);
+        let back = PacketTracker::restore(&mut d).unwrap();
+        d.finish().unwrap();
+        assert_eq!(back.len(), t.len());
+        assert_eq!(back.in_flight(), t.in_flight());
+        assert_eq!(back.delivered(), t.delivered());
+        for i in 0..t.len() as u64 {
+            assert_eq!(back.record(i), t.record(i));
+        }
+        assert_eq!(back.latency_breakdown(2.0), t.latency_breakdown(2.0));
+
+        // A corrupted injected-counter must be caught, not restored.
+        let mut bad = bytes.clone();
+        let cut = bad.len() - 16; // injected_count is the 2nd-to-last u64
+        bad[cut] ^= 0xff;
+        assert!(matches!(
+            PacketTracker::restore(&mut Dec::new(&bad)),
+            Err(SnapError::BadValue(_))
+        ));
+        // Truncation anywhere is structural, never a panic.
+        for cut in 0..bytes.len() {
+            assert!(PacketTracker::restore(&mut Dec::new(&bytes[..cut])).is_err());
+        }
     }
 
     #[test]

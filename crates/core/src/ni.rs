@@ -220,6 +220,103 @@ impl InjectionQueue {
         }
     }
 
+    /// Serializes the queue contents, the in-flight packet streams and
+    /// the policy's round-robin cursor (if any). Node, capacity and the
+    /// policy's wiring (networks, injectors, thresholds) are build-time
+    /// configuration and are skipped.
+    pub fn snap_state(&self, e: &mut equinox_snap::Enc) {
+        use equinox_snap::Snap;
+        self.queue.snap(e);
+        e.put_usize(self.inflight.len());
+        for fl in &self.inflight {
+            fl.desc.snap(e);
+            e.put_u32(fl.sink);
+            e.put_u16(fl.next);
+            e.put_usize(fl.net);
+            fl.injector.snap(e);
+        }
+        let (tag, rr) = match &self.policy {
+            InjectPolicy::Local { .. } => (0u8, 0usize),
+            InjectPolicy::CmeshSplit { .. } => (1, 0),
+            InjectPolicy::SubnetRoundRobin { rr, .. } => (2, *rr),
+            InjectPolicy::MultiInjector { rr, .. } => (3, *rr),
+            InjectPolicy::Equinox { rr, .. } => (4, *rr),
+        };
+        e.put_u8(tag);
+        e.put_usize(rr);
+    }
+
+    /// Restores state written by [`InjectionQueue::snap_state`] into a
+    /// queue built with the same capacity and policy wiring. `nets` is
+    /// the system's network list, used to bound-check restored injector
+    /// handles and network indices.
+    pub fn restore_state(
+        &mut self,
+        d: &mut equinox_snap::Dec,
+        nets: &[Network],
+    ) -> Result<(), equinox_snap::SnapError> {
+        use equinox_snap::{Snap, SnapError};
+        let queue: VecDeque<Message> = VecDeque::restore(d)?;
+        if queue.len() > self.cap {
+            return Err(SnapError::BadValue("ni queue over capacity"));
+        }
+        let n_inflight = d.usize()?;
+        if n_inflight > d.remaining() {
+            return Err(SnapError::Truncated);
+        }
+        let mut inflight = Vec::with_capacity(n_inflight);
+        for _ in 0..n_inflight {
+            let desc = PacketDesc::restore(d)?;
+            let sink = d.u32()?;
+            let next = d.u16()?;
+            let net = d.usize()?;
+            let injector = InjectorId::restore(d)?;
+            if net >= nets.len() {
+                return Err(SnapError::BadValue("ni inflight network index"));
+            }
+            if !nets[net].injector_valid(injector) {
+                return Err(SnapError::BadValue("ni inflight injector"));
+            }
+            if next > desc.len {
+                return Err(SnapError::BadValue("ni inflight flit cursor"));
+            }
+            inflight.push(Inflight {
+                desc,
+                sink,
+                next,
+                net,
+                injector,
+            });
+        }
+        let tag = d.u8()?;
+        let rr = d.usize()?;
+        match (&mut self.policy, tag) {
+            (InjectPolicy::Local { .. }, 0) | (InjectPolicy::CmeshSplit { .. }, 1) => {}
+            (InjectPolicy::SubnetRoundRobin { nets: subnets, rr: cur }, 2) => {
+                if rr >= subnets.len() {
+                    return Err(SnapError::BadValue("subnet rr cursor"));
+                }
+                *cur = rr;
+            }
+            (InjectPolicy::MultiInjector { injectors, rr: cur, .. }, 3) => {
+                if rr >= injectors.len() {
+                    return Err(SnapError::BadValue("multi-injector rr cursor"));
+                }
+                *cur = rr;
+            }
+            (InjectPolicy::Equinox { eirs, rr: cur, .. }, 4) => {
+                if rr >= eirs.len().max(1) {
+                    return Err(SnapError::BadValue("equinox rr cursor"));
+                }
+                *cur = rr;
+            }
+            _ => return Err(SnapError::BadValue("injection policy tag mismatch")),
+        }
+        self.queue = queue;
+        self.inflight = inflight;
+        Ok(())
+    }
+
     /// Applies the policy: returns `(net, injector, src, dst, sink)` for
     /// the message, or `None` to retry next cycle.
     fn choose(

@@ -272,6 +272,50 @@ impl SystemObs {
         self.next_sample = cycle + self.series.interval();
     }
 
+    /// Serializes the cycle-derived observability state: registry
+    /// values, time-series rows and the sampling/delta cursors. Span
+    /// (wall-clock) data is intentionally excluded — it never enters
+    /// the deterministic artifact, so a restored run reproduces the
+    /// `obs/v1` block bit-for-bit without it.
+    pub(crate) fn snap_state(&self, e: &mut equinox_snap::Enc) {
+        use equinox_snap::Snap;
+        self.registry.snap_state(e);
+        self.series.snap_state(e);
+        e.put_u64(self.next_sample);
+        e.put_u64(self.last_cycle);
+        self.last_ejected.snap(e);
+        self.last_links.snap(e);
+        self.last_eir.snap(e);
+        e.put_u64(self.last_ff);
+    }
+
+    /// Restores state written by [`SystemObs::snap_state`] into an
+    /// identically-configured instance.
+    pub(crate) fn restore_state(
+        &mut self,
+        d: &mut equinox_snap::Dec,
+    ) -> Result<(), equinox_snap::SnapError> {
+        use equinox_snap::{Snap, SnapError};
+        self.registry.restore_state(d)?;
+        self.series.restore_state(d)?;
+        self.next_sample = d.u64()?;
+        self.last_cycle = d.u64()?;
+        let last_ejected: Vec<u64> = Vec::restore(d)?;
+        let last_links: Vec<u64> = Vec::restore(d)?;
+        let last_eir: Vec<u64> = Vec::restore(d)?;
+        if last_ejected.len() != self.last_ejected.len()
+            || last_links.len() != self.last_links.len()
+            || last_eir.len() != self.last_eir.len()
+        {
+            return Err(SnapError::BadValue("obs delta cursor lengths"));
+        }
+        self.last_ejected = last_ejected;
+        self.last_links = last_links;
+        self.last_eir = last_eir;
+        self.last_ff = d.u64()?;
+        Ok(())
+    }
+
     /// The `equinox.obs/v1` artifact block: counters, histograms with
     /// interpolated percentiles, the time series, and per-router heat
     /// grids — cycle-derived data only, bit-identical across worker

@@ -159,6 +159,17 @@ impl SystemConfig {
 /// An ejection point to drain: `(net, router, port)`.
 type Sink = (usize, usize, usize);
 
+/// Section tags of the [`System::snapshot`] container.
+mod snap_tags {
+    pub const SYS: u32 = 1;
+    pub const NETS: u32 = 2;
+    pub const PES: u32 = 3;
+    pub const NIS: u32 = 4;
+    pub const CBS: u32 = 5;
+    pub const TRACKER: u32 = 6;
+    pub const OBS: u32 = 7;
+}
+
 /// The assembled machine.
 pub struct System {
     cfg: SystemConfig,
@@ -1082,6 +1093,208 @@ impl System {
         self.metrics()
     }
 
+    /// Serializes the machine's complete dynamic state into one
+    /// [`equinox_snap`] container. Build-derived state (topology,
+    /// placement, area, sinks, clock ratios, the step team) is not
+    /// written: a snapshot restores only into a [`System::build`] of the
+    /// *same* [`SystemConfig`] (up to snapshot-neutral knobs like
+    /// `sim_threads`, which changes lane assignment but not state).
+    ///
+    /// Because every component of the simulation is bit-deterministic,
+    /// `build + restore + run` produces byte-identical artifacts to the
+    /// straight-through run that took the snapshot — the contract
+    /// `tests/determinism.rs` enforces.
+    pub fn snapshot(&self) -> Vec<u8> {
+        use equinox_snap::{Enc, Snap};
+        let mut sys = Enc::new();
+        sys.put_u64(self.cycle);
+        self.step_accum.snap(&mut sys);
+        self.cb_tick_due.snap(&mut sys);
+        self.retired.snap(&mut sys);
+        sys.put_usize(self.done_pes);
+        sys.put_u64(self.sys_last_progress);
+        sys.put_u64(self.sys_last_progress_cycle);
+        self.audit_findings.snap(&mut sys);
+
+        let mut nets = Enc::new();
+        nets.put_usize(self.nets.len());
+        for n in &self.nets {
+            n.snapshot_state(&mut nets);
+        }
+
+        let mut pes = Enc::new();
+        pes.put_usize(self.pes.len());
+        for p in &self.pes {
+            match p {
+                Some(pe) => {
+                    pes.put_u8(1);
+                    pe.snap_state(&mut pes);
+                }
+                None => pes.put_u8(0),
+            }
+        }
+
+        let mut nis = Enc::new();
+        nis.put_usize(self.req_nis.len());
+        for ni in &self.req_nis {
+            match ni {
+                Some(q) => {
+                    nis.put_u8(1);
+                    q.snap_state(&mut nis);
+                }
+                None => nis.put_u8(0),
+            }
+        }
+        nis.put_usize(self.rep_nis.len());
+        for q in &self.rep_nis {
+            q.snap_state(&mut nis);
+        }
+
+        let mut cbs = Enc::new();
+        cbs.put_usize(self.cbs.len());
+        for cb in &self.cbs {
+            cb.snap_state(&mut cbs);
+        }
+
+        let mut tracker = Enc::new();
+        self.tracker.snap(&mut tracker);
+
+        let mut obs = Enc::new();
+        match &self.obs {
+            Some(o) => {
+                obs.put_bool(true);
+                o.snap_state(&mut obs);
+            }
+            None => obs.put_bool(false),
+        }
+
+        equinox_snap::write_snapshot(&[
+            (snap_tags::SYS, sys.into_bytes()),
+            (snap_tags::NETS, nets.into_bytes()),
+            (snap_tags::PES, pes.into_bytes()),
+            (snap_tags::NIS, nis.into_bytes()),
+            (snap_tags::CBS, cbs.into_bytes()),
+            (snap_tags::TRACKER, tracker.into_bytes()),
+            (snap_tags::OBS, obs.into_bytes()),
+        ])
+    }
+
+    /// Restores a [`System::snapshot`] into this machine, which must
+    /// have been built from the same configuration. Every section is
+    /// shape-validated against the built topology (counts, capacities,
+    /// audit/obs arming); any mismatch, truncation or corruption
+    /// returns a structured [`equinox_snap::SnapError`]. On error the
+    /// machine may be partially overwritten and must be discarded.
+    pub fn restore(&mut self, bytes: &[u8]) -> Result<(), equinox_snap::SnapError> {
+        use equinox_snap::{read_snapshot, section, Dec, Snap, SnapError};
+        let sections = read_snapshot(bytes)?;
+
+        let mut d = Dec::new(section(&sections, snap_tags::SYS)?);
+        let cycle = d.u64()?;
+        let step_accum: Vec<u32> = Vec::restore(&mut d)?;
+        let cb_tick_due: Vec<u64> = Vec::restore(&mut d)?;
+        let retired: Vec<bool> = Vec::restore(&mut d)?;
+        let done_pes = d.usize()?;
+        let sys_last_progress = d.u64()?;
+        let sys_last_progress_cycle = d.u64()?;
+        let audit_findings: Vec<String> = Vec::restore(&mut d)?;
+        d.finish()?;
+        if step_accum.len() != self.steps_per_two.len() || step_accum.iter().any(|&a| a >= 2) {
+            return Err(SnapError::BadValue("system step accumulators"));
+        }
+        if cb_tick_due.len() != self.cbs.len() {
+            return Err(SnapError::BadValue("cb tick schedule length"));
+        }
+        if retired.len() != self.pes.len()
+            || done_pes != retired.iter().filter(|&&r| r).count()
+            || retired
+                .iter()
+                .zip(&self.pes)
+                .any(|(&r, pe)| r && pe.is_none())
+        {
+            return Err(SnapError::BadValue("retired-PE flags"));
+        }
+
+        let mut d = Dec::new(section(&sections, snap_tags::NETS)?);
+        if d.usize()? != self.nets.len() {
+            return Err(SnapError::BadValue("network count"));
+        }
+        for n in &mut self.nets {
+            n.restore_state(&mut d)?;
+        }
+        d.finish()?;
+
+        let mut d = Dec::new(section(&sections, snap_tags::PES)?);
+        if d.usize()? != self.pes.len() {
+            return Err(SnapError::BadValue("pe count"));
+        }
+        for p in &mut self.pes {
+            let present = d.u8()?;
+            match (p.as_mut(), present) {
+                (Some(pe), 1) => pe.restore_state(&mut d)?,
+                (None, 0) => {}
+                _ => return Err(SnapError::BadValue("pe placement mismatch")),
+            }
+        }
+        d.finish()?;
+
+        let mut d = Dec::new(section(&sections, snap_tags::NIS)?);
+        if d.usize()? != self.req_nis.len() {
+            return Err(SnapError::BadValue("request NI count"));
+        }
+        for i in 0..self.req_nis.len() {
+            let present = d.u8()?;
+            match (self.req_nis[i].is_some(), present) {
+                (true, 1) => {
+                    let q = self.req_nis[i].as_mut().expect("checked present");
+                    q.restore_state(&mut d, &self.nets)?;
+                }
+                (false, 0) => {}
+                _ => return Err(SnapError::BadValue("request NI placement mismatch")),
+            }
+        }
+        if d.usize()? != self.rep_nis.len() {
+            return Err(SnapError::BadValue("reply NI count"));
+        }
+        for i in 0..self.rep_nis.len() {
+            self.rep_nis[i].restore_state(&mut d, &self.nets)?;
+        }
+        d.finish()?;
+
+        let mut d = Dec::new(section(&sections, snap_tags::CBS)?);
+        if d.usize()? != self.cbs.len() {
+            return Err(SnapError::BadValue("cache bank count"));
+        }
+        for cb in &mut self.cbs {
+            cb.restore_state(&mut d)?;
+        }
+        d.finish()?;
+
+        let mut d = Dec::new(section(&sections, snap_tags::TRACKER)?);
+        let tracker = PacketTracker::restore(&mut d)?;
+        d.finish()?;
+
+        let mut d = Dec::new(section(&sections, snap_tags::OBS)?);
+        let obs_armed = d.bool()?;
+        match (self.obs.as_deref_mut(), obs_armed) {
+            (Some(o), true) => o.restore_state(&mut d)?,
+            (None, false) => {}
+            _ => return Err(SnapError::BadValue("obs arming mismatch")),
+        }
+        d.finish()?;
+
+        self.cycle = cycle;
+        self.step_accum = step_accum;
+        self.cb_tick_due = cb_tick_due;
+        self.retired = retired;
+        self.done_pes = done_pes;
+        self.sys_last_progress = sys_last_progress;
+        self.sys_last_progress_cycle = sys_last_progress_cycle;
+        self.audit_findings = audit_findings;
+        self.tracker = tracker;
+        Ok(())
+    }
+
     /// Assembles the metrics of the run so far.
     pub fn metrics(&self) -> RunMetrics {
         let freq = 1.126; // core clock, GHz (Table 1)
@@ -1452,6 +1665,82 @@ mod tests {
         assert_eq!(serial.0, par.0, "cycles diverged");
         assert_eq!(serial.1, par.1, "audit sweep schedules diverged");
         assert_eq!(serial.2, par.2, "obs/v1 block must be byte-identical");
+    }
+
+    #[test]
+    fn snapshot_mid_run_restores_to_identical_completion() {
+        // For every scheme shape: run C cycles, snapshot, finish both the
+        // original and a restored fresh build, and require bit-identical
+        // metrics and per-network counters.
+        for scheme in [SchemeKind::SingleBase, SchemeKind::EquiNox, SchemeKind::Da2Mesh] {
+            let mut cfg = SystemConfig::new(scheme, 8, tiny_workload("bfs"));
+            cfg.max_cycles = 400_000;
+            cfg.obs = Some(crate::obs::ObsConfig {
+                interval: 500,
+                ..Default::default()
+            });
+            let mut a = System::build(cfg.clone());
+            for _ in 0..3_000 {
+                a.step();
+            }
+            let snap = a.snapshot();
+            let snap_cycle = a.cycle();
+            let ma = a.run();
+
+            let mut b = System::build(cfg);
+            b.restore(&snap).unwrap();
+            assert_eq!(b.cycle(), snap_cycle, "restore resumes at the snapshot cycle");
+            let mb = b.run();
+            assert_eq!(ma.cycles, mb.cycles, "{scheme:?} diverged after restore");
+            assert_eq!(ma.ipc.to_bits(), mb.ipc.to_bits());
+            assert_eq!(ma.edp.to_bits(), mb.edp.to_bits());
+            assert_eq!(
+                ma.latency.total_ns().to_bits(),
+                mb.latency.total_ns().to_bits()
+            );
+            let sa: Vec<_> = a.networks().iter().map(|n| n.stats().clone()).collect();
+            let sb: Vec<_> = b.networks().iter().map(|n| n.stats().clone()).collect();
+            assert_eq!(sa, sb, "{scheme:?} network counters diverged");
+            assert_eq!(
+                a.obs_json().unwrap().pretty(),
+                b.obs_json().unwrap().pretty(),
+                "{scheme:?} obs/v1 block diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn snapshot_restore_rejects_mismatched_build_and_corruption() {
+        let mut cfg = SystemConfig::new(SchemeKind::SeparateBase, 8, tiny_workload("bfs"));
+        cfg.max_cycles = 100_000;
+        let mut a = System::build(cfg.clone());
+        for _ in 0..500 {
+            a.step();
+        }
+        let snap = a.snapshot();
+
+        // A different scheme's build must refuse the snapshot.
+        let other = SystemConfig::new(SchemeKind::Da2Mesh, 8, tiny_workload("bfs"));
+        assert!(System::build(other).restore(&snap).is_err());
+
+        // An obs-armed build must refuse an obs-less snapshot.
+        let mut armed = cfg.clone();
+        armed.obs = Some(crate::obs::ObsConfig::default());
+        assert!(matches!(
+            System::build(armed).restore(&snap),
+            Err(equinox_snap::SnapError::BadValue("obs arming mismatch"))
+        ));
+
+        // Truncations and header corruption are structural errors.
+        for cut in [0, 1, 5, snap.len() / 2, snap.len() - 1] {
+            assert!(System::build(cfg.clone()).restore(&snap[..cut]).is_err());
+        }
+        let mut bad = snap.clone();
+        bad[0] ^= 0xff;
+        assert!(matches!(
+            System::build(cfg.clone()).restore(&bad),
+            Err(equinox_snap::SnapError::BadMagic)
+        ));
     }
 
     #[test]

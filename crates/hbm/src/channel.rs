@@ -136,6 +136,60 @@ impl Channel {
             (h + b.hits, m + b.misses, c + b.conflicts)
         })
     }
+
+    /// Serializes the channel's dynamic state (banks, queue, bus, the
+    /// in-service list). `cap` is build-time config and not written.
+    pub fn snap_state(&self, e: &mut equinox_snap::Enc) {
+        use equinox_snap::Snap;
+        self.banks.snap(e);
+        self.queue.snap(e);
+        e.put_u64(self.bus_busy_until);
+        self.in_service.snap(e);
+    }
+
+    /// Restores state written by [`Channel::snap_state`] into a channel
+    /// built from the *same* config; shape mismatches are rejected.
+    pub fn restore_state(
+        &mut self,
+        d: &mut equinox_snap::Dec,
+    ) -> Result<(), equinox_snap::SnapError> {
+        use equinox_snap::{Snap, SnapError};
+        let banks = Vec::restore(d)?;
+        if banks.len() != self.banks.len() {
+            return Err(SnapError::BadValue("channel bank count"));
+        }
+        let queue: std::collections::VecDeque<ChannelRequest> = VecDeque::restore(d)?;
+        if queue.len() > self.cap {
+            return Err(SnapError::BadValue("channel queue over capacity"));
+        }
+        if queue.iter().any(|r| r.bank >= banks.len()) {
+            return Err(SnapError::BadValue("channel request bank index"));
+        }
+        self.banks = banks;
+        self.queue = queue;
+        self.bus_busy_until = d.u64()?;
+        self.in_service = Vec::restore(d)?;
+        Ok(())
+    }
+}
+
+impl equinox_snap::Snap for ChannelRequest {
+    fn snap(&self, e: &mut equinox_snap::Enc) {
+        e.put_u64(self.id);
+        e.put_usize(self.bank);
+        e.put_u64(self.row);
+        e.put_bool(self.write);
+        e.put_u64(self.arrival);
+    }
+    fn restore(d: &mut equinox_snap::Dec) -> Result<Self, equinox_snap::SnapError> {
+        Ok(ChannelRequest {
+            id: d.u64()?,
+            bank: d.usize()?,
+            row: d.u64()?,
+            write: d.bool()?,
+            arrival: d.u64()?,
+        })
+    }
 }
 
 #[cfg(test)]

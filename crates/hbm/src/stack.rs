@@ -161,6 +161,50 @@ impl HbmStack {
     pub fn config(&self) -> &HbmConfig {
         &self.cfg
     }
+
+    /// Serializes the stack's dynamic state: every channel, the pending
+    /// completion queue, and the accepted-access counter. The config and
+    /// the reusable step scratch buffer are build-time/transient and not
+    /// written.
+    pub fn snap_state(&self, e: &mut equinox_snap::Enc) {
+        e.put_usize(self.channels.len());
+        for ch in &self.channels {
+            ch.snap_state(e);
+        }
+        e.put_usize(self.completed.len());
+        for c in &self.completed {
+            e.put_u64(c.id);
+            e.put_u64(c.finished_at);
+        }
+        e.put_u64(self.accesses);
+    }
+
+    /// Restores state written by [`HbmStack::snap_state`] into a stack
+    /// built from the *same* config.
+    pub fn restore_state(
+        &mut self,
+        d: &mut equinox_snap::Dec,
+    ) -> Result<(), equinox_snap::SnapError> {
+        use equinox_snap::SnapError;
+        let n = d.usize()?;
+        if n != self.channels.len() {
+            return Err(SnapError::BadValue("hbm channel count"));
+        }
+        for ch in &mut self.channels {
+            ch.restore_state(d)?;
+        }
+        let nc = d.usize()?;
+        let mut completed = VecDeque::with_capacity(nc.min(d.remaining()));
+        for _ in 0..nc {
+            completed.push_back(Completion {
+                id: d.u64()?,
+                finished_at: d.u64()?,
+            });
+        }
+        self.completed = completed;
+        self.accesses = d.u64()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -269,6 +313,55 @@ mod tests {
             bytes_per_cycle > peak * 0.5,
             "sustained {bytes_per_cycle:.1} B/cy vs peak {peak:.1}"
         );
+    }
+
+    #[test]
+    fn snapshot_round_trip_resumes_identically() {
+        use equinox_snap::{Dec, Enc};
+        let cfg = HbmConfig::hbm2();
+        let mut s = HbmStack::new(cfg);
+        // Mid-flight state: queued + in-service + undrained completions.
+        for i in 0..32u64 {
+            let _ = s.enqueue(MemAccess { id: i, addr: i * 64, write: i % 3 == 0 }, 0);
+        }
+        for t in 0..40 {
+            s.step(t);
+        }
+        let mut e = Enc::new();
+        s.snap_state(&mut e);
+        let bytes = e.into_bytes();
+        let mut restored = HbmStack::new(cfg);
+        let mut d = Dec::new(&bytes);
+        restored.restore_state(&mut d).unwrap();
+        d.finish().unwrap();
+        assert_eq!(restored.outstanding(), s.outstanding());
+        assert_eq!(restored.row_stats(), s.row_stats());
+        // Both copies must evolve in lockstep from here on.
+        let a = run(&mut s, 3000);
+        let b = run(&mut restored, 3000);
+        assert_eq!(a, b, "restored stack must produce identical completions");
+    }
+
+    #[test]
+    fn snapshot_rejects_wrong_shape_and_truncation() {
+        use equinox_snap::{Dec, Enc, SnapError};
+        let mut s = HbmStack::new(HbmConfig::hbm2());
+        s.enqueue(MemAccess { id: 1, addr: 0, write: false }, 0).unwrap();
+        let mut e = Enc::new();
+        s.snap_state(&mut e);
+        let bytes = e.into_bytes();
+        // Wrong config shape: tiny() has a different channel count.
+        let mut other = HbmStack::new(HbmConfig::tiny());
+        assert_eq!(
+            other.restore_state(&mut Dec::new(&bytes)).unwrap_err(),
+            SnapError::BadValue("hbm channel count")
+        );
+        // Truncation anywhere must yield a structured error, not a panic.
+        let mut fresh = HbmStack::new(HbmConfig::hbm2());
+        for cut in 0..bytes.len() {
+            let r = fresh.restore_state(&mut Dec::new(&bytes[..cut]));
+            assert!(r.is_err(), "cut at {cut} must fail");
+        }
     }
 
     #[test]

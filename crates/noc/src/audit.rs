@@ -351,6 +351,41 @@ impl AuditState {
             sweeps: 0,
         }
     }
+
+    /// Serializes the auditor's ledgers and watchdog counters. The config
+    /// is build-time; retained violations are diagnostic output, not
+    /// simulation state, and are *not* carried across a snapshot (with
+    /// `panic_on_violation` — the default for checkpointed runs — they
+    /// are always empty anyway).
+    pub(crate) fn snap_state(&self, e: &mut equinox_snap::Enc) {
+        use equinox_snap::Snap;
+        debug_assert!(
+            self.violations.is_empty(),
+            "snapshotting discards retained audit violations"
+        );
+        self.injected.snap(e);
+        self.ejected.snap(e);
+        e.put_u64(self.pops);
+        e.put_u64(self.last_progress);
+        e.put_u64(self.last_progress_cycle);
+        e.put_u64(self.sweeps);
+    }
+
+    /// Restores state written by [`AuditState::snap_state`].
+    pub(crate) fn restore_state(
+        &mut self,
+        d: &mut equinox_snap::Dec,
+    ) -> Result<(), equinox_snap::SnapError> {
+        use equinox_snap::Snap;
+        self.injected = <[u64; 2]>::restore(d)?;
+        self.ejected = <[u64; 2]>::restore(d)?;
+        self.pops = d.u64()?;
+        self.last_progress = d.u64()?;
+        self.last_progress_cycle = d.u64()?;
+        self.sweeps = d.u64()?;
+        self.violations.clear();
+        Ok(())
+    }
 }
 
 /// Class index for the per-class ledgers.

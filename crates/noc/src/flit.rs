@@ -150,6 +150,93 @@ impl Flit {
     }
 }
 
+impl equinox_snap::Snap for PacketId {
+    fn snap(&self, e: &mut equinox_snap::Enc) {
+        e.put_u64(self.0);
+    }
+    fn restore(d: &mut equinox_snap::Dec) -> Result<Self, equinox_snap::SnapError> {
+        Ok(PacketId(d.u64()?))
+    }
+}
+
+impl equinox_snap::Snap for PacketDesc {
+    fn snap(&self, e: &mut equinox_snap::Enc) {
+        self.id.snap(e);
+        e.put_u16(self.src.x);
+        e.put_u16(self.src.y);
+        e.put_u16(self.dst.x);
+        e.put_u16(self.dst.y);
+        self.class.snap(e);
+        e.put_u16(self.len);
+    }
+    fn restore(d: &mut equinox_snap::Dec) -> Result<Self, equinox_snap::SnapError> {
+        let id = PacketId::restore(d)?;
+        let src = Coord::new(d.u16()?, d.u16()?);
+        let dst = Coord::new(d.u16()?, d.u16()?);
+        let class = MessageClass::restore(d)?;
+        let len = d.u16()?;
+        if len == 0 {
+            return Err(equinox_snap::SnapError::BadValue("packet len zero"));
+        }
+        Ok(PacketDesc {
+            id,
+            src,
+            dst,
+            class,
+            len,
+        })
+    }
+}
+
+impl equinox_snap::Snap for MessageClass {
+    fn snap(&self, e: &mut equinox_snap::Enc) {
+        e.put_u8(match self {
+            MessageClass::Request => 0,
+            MessageClass::Reply => 1,
+        });
+    }
+    fn restore(d: &mut equinox_snap::Dec) -> Result<Self, equinox_snap::SnapError> {
+        match d.u8()? {
+            0 => Ok(MessageClass::Request),
+            1 => Ok(MessageClass::Reply),
+            _ => Err(equinox_snap::SnapError::BadValue("message class tag")),
+        }
+    }
+}
+
+// `Coord` belongs to `equinox-phys` (which has no snap dependency), so
+// flits encode it field-wise.
+impl equinox_snap::Snap for Flit {
+    fn snap(&self, e: &mut equinox_snap::Enc) {
+        self.pkt.snap(e);
+        e.put_u16(self.src.x);
+        e.put_u16(self.src.y);
+        e.put_u16(self.dst.x);
+        e.put_u16(self.dst.y);
+        self.class.snap(e);
+        e.put_u16(self.seq);
+        e.put_u16(self.len);
+        e.put_u32(self.sink);
+        e.put_u8(self.vc);
+    }
+    fn restore(d: &mut equinox_snap::Dec) -> Result<Self, equinox_snap::SnapError> {
+        let f = Flit {
+            pkt: PacketId::restore(d)?,
+            src: Coord::new(d.u16()?, d.u16()?),
+            dst: Coord::new(d.u16()?, d.u16()?),
+            class: MessageClass::restore(d)?,
+            seq: d.u16()?,
+            len: d.u16()?,
+            sink: d.u32()?,
+            vc: d.u8()?,
+        };
+        if f.len == 0 || f.seq >= f.len {
+            return Err(equinox_snap::SnapError::BadValue("flit seq/len"));
+        }
+        Ok(f)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -127,6 +127,27 @@ impl Link {
     pub fn iter_flits(&self) -> impl Iterator<Item = &Flit> {
         self.flits.iter().map(|(_, f)| f)
     }
+
+    /// Serializes the link's dynamic state (in-flight flits/credits and
+    /// the carried counter); endpoints and latency are topology.
+    pub fn snap_state(&self, e: &mut equinox_snap::Enc) {
+        use equinox_snap::Snap;
+        self.flits.snap(e);
+        self.credits.snap(e);
+        e.put_u64(self.flits_carried);
+    }
+
+    /// Restores state written by [`Link::snap_state`].
+    pub fn restore_state(
+        &mut self,
+        d: &mut equinox_snap::Dec,
+    ) -> Result<(), equinox_snap::SnapError> {
+        use equinox_snap::Snap;
+        self.flits = VecDeque::restore(d)?;
+        self.credits = VecDeque::restore(d)?;
+        self.flits_carried = d.u64()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -32,6 +32,15 @@ use std::ops::Range;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct InjectorId(pub(crate) usize);
 
+impl equinox_snap::Snap for InjectorId {
+    fn snap(&self, e: &mut equinox_snap::Enc) {
+        e.put_usize(self.0);
+    }
+    fn restore(d: &mut equinox_snap::Dec) -> Result<Self, equinox_snap::SnapError> {
+        Ok(InjectorId(d.usize()?))
+    }
+}
+
 #[derive(Debug)]
 pub(crate) struct Injector {
     link: usize,
@@ -292,6 +301,18 @@ impl Network {
     /// (observability: per-EIR load sampling).
     pub fn injector_flits(&self, id: InjectorId) -> u64 {
         self.injectors[id.0].flits
+    }
+
+    /// Number of injection points (used to bound-check restored
+    /// [`InjectorId`]s).
+    pub fn num_injectors(&self) -> usize {
+        self.injectors.len()
+    }
+
+    /// `true` if `id` names an injection point of this network (used to
+    /// validate restored snapshot state).
+    pub fn injector_valid(&self, id: InjectorId) -> bool {
+        id.0 < self.injectors.len()
     }
 
     /// Number of links in the network (mesh links plus every NI/EIR
@@ -1105,6 +1126,147 @@ impl Network {
         self.routers.iter().map(|r| r.num_ports()).sum::<usize>() as f64
             / self.routers.len() as f64
     }
+
+    /// Serializes all dynamic network state: the clock, statistics, every
+    /// router/link/injector, ejection queues, trace events and (when the
+    /// auditor is armed) its ledgers. Topology, config, scratch buffers
+    /// and the activity worklists are *not* written — the worklists are
+    /// recomputed exactly on restore (at a step boundary, membership
+    /// equals the retention predicates the gated sweep itself uses).
+    pub fn snapshot_state(&self, e: &mut equinox_snap::Enc) {
+        use equinox_snap::Snap;
+        e.put_u64(self.cycle);
+        self.stats.snap(e);
+        e.put_usize(self.routers.len());
+        for r in &self.routers {
+            r.snap_state(e);
+        }
+        e.put_usize(self.links.len());
+        for l in &self.links {
+            l.snap_state(e);
+        }
+        e.put_usize(self.injectors.len());
+        for inj in &self.injectors {
+            inj.credits.snap(e);
+            inj.active_vc.snap(e);
+            e.put_u64(inj.last_cycle);
+            e.put_u64(inj.flits);
+        }
+        e.put_usize(self.eject.len());
+        for ports in &self.eject {
+            e.put_usize(ports.len());
+            for q in ports {
+                q.snap(e);
+            }
+        }
+        self.trace.snap_state(e);
+        match self.audit.as_deref() {
+            None => e.put_bool(false),
+            Some(a) => {
+                e.put_bool(true);
+                a.snap_state(e);
+            }
+        }
+    }
+
+    /// Restores state written by [`Network::snapshot_state`] into a
+    /// network built from the *same* configuration (same topology, same
+    /// extra ports, same audit/trace arming). Shape mismatches and
+    /// malformed input are rejected with a structured error; on error the
+    /// network may be partially overwritten and must be discarded.
+    pub fn restore_state(
+        &mut self,
+        d: &mut equinox_snap::Dec,
+    ) -> Result<(), equinox_snap::SnapError> {
+        use equinox_snap::{Snap, SnapError};
+        let depth = self.cfg.vc_buf_flits as u32;
+        self.cycle = d.u64()?;
+        let stats = NetStats::restore(d)?;
+        if stats.router_flits.len() != self.routers.len() {
+            return Err(SnapError::BadValue("stats router count"));
+        }
+        self.stats = stats;
+        if d.usize()? != self.routers.len() {
+            return Err(SnapError::BadValue("router count"));
+        }
+        for r in &mut self.routers {
+            r.restore_state(d, depth)?;
+        }
+        if d.usize()? != self.links.len() {
+            return Err(SnapError::BadValue("link count"));
+        }
+        for l in &mut self.links {
+            l.restore_state(d)?;
+        }
+        if d.usize()? != self.injectors.len() {
+            return Err(SnapError::BadValue("injector count"));
+        }
+        for inj in &mut self.injectors {
+            let credits: Vec<u32> = Vec::restore(d)?;
+            if credits.len() != inj.credits.len() || credits.iter().any(|&c| c > depth) {
+                return Err(SnapError::BadValue("injector credits"));
+            }
+            inj.credits = credits;
+            inj.active_vc = Option::restore(d)?;
+            inj.last_cycle = d.u64()?;
+            inj.flits = d.u64()?;
+        }
+        if d.usize()? != self.eject.len() {
+            return Err(SnapError::BadValue("eject router count"));
+        }
+        for ports in &mut self.eject {
+            if d.usize()? != ports.len() {
+                return Err(SnapError::BadValue("eject port count"));
+            }
+            for q in ports.iter_mut() {
+                *q = VecDeque::restore(d)?;
+            }
+        }
+        self.trace.restore_state(d)?;
+        let audited = d.bool()?;
+        match (audited, self.audit.as_deref_mut()) {
+            (true, Some(a)) => a.restore_state(d)?,
+            (false, None) => {}
+            _ => return Err(SnapError::BadValue("audit arming mismatch")),
+        }
+        self.recompute_activity();
+        Ok(())
+    }
+
+    /// Rebuilds the O(1) idleness aggregates and the activity worklists
+    /// from restored router/link/eject state. At a step boundary the
+    /// gated sweep keeps exactly the elements whose retention predicate
+    /// is positive (`credits_pending`, `in_flight`, buffered flits), and
+    /// re-activation edges insert elements only when those predicates
+    /// become positive — so recomputing membership from the predicates
+    /// reproduces the worklists bit-for-bit.
+    fn recompute_activity(&mut self) {
+        self.router_buffered = self
+            .routers
+            .iter()
+            .map(|r| r.buffered_flits() as u32)
+            .collect();
+        self.buffered_total = self.router_buffered.iter().map(|&b| b as u64).sum();
+        self.flits_in_flight = self.links.iter().map(|l| l.in_flight() as u64).sum();
+        self.credits_in_flight = self.links.iter().map(|l| l.credits_pending() as u64).sum();
+        self.eject_occupancy = self.eject.iter().flatten().map(|q| q.len() as u64).sum();
+        self.active_routers = ActiveSet::with_len(self.routers.len());
+        for r in 0..self.routers.len() {
+            if self.router_buffered[r] > 0 {
+                self.active_routers.insert(r);
+            }
+        }
+        self.active_flit_links = ActiveSet::with_len(self.links.len());
+        self.active_credit_links = ActiveSet::with_len(self.links.len());
+        for li in 0..self.links.len() {
+            if self.links[li].in_flight() > 0 {
+                self.active_flit_links.insert(li);
+            }
+            if self.links[li].credits_pending() > 0 {
+                self.active_credit_links.insert(li);
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -1378,6 +1540,121 @@ mod tests {
         assert_eq!(head.len(), 1 + 3 + 1);
         // Cycles are monotone along the path.
         assert!(head.windows(2).all(|w| w[0].cycle <= w[1].cycle));
+    }
+
+    /// Saturating many-to-one traffic for `cycles`, returning the network
+    /// mid-flight (buffers, links and eject queues all populated).
+    fn loaded_net(cycles: u64) -> (Network, Vec<std::iter::Peekable<std::vec::IntoIter<Flit>>>) {
+        let mut net = Network::mesh(NocConfig::mesh(4));
+        net.enable_trace(64);
+        let dst = Coord::new(0, 0);
+        let mut pending = Vec::new();
+        for i in 0..16u64 {
+            let src = Coord::from_index(i as usize, 4);
+            if src == dst {
+                continue;
+            }
+            let pkt = PacketDesc::new(i, src, dst, MessageClass::Reply, 5);
+            pending.push((src, pkt.flits(4).into_iter().peekable()));
+        }
+        for _ in 0..cycles {
+            for (src, flits) in pending.iter_mut() {
+                let inj = net.local_injector(*src);
+                if let Some(&f) = flits.peek() {
+                    if net.try_inject_flit(inj, f) {
+                        flits.next();
+                    }
+                }
+            }
+            net.step();
+        }
+        (net, pending.into_iter().map(|(_, f)| f).collect())
+    }
+
+    #[test]
+    fn snapshot_round_trip_is_bit_exact_under_load() {
+        use equinox_snap::{Dec, Enc};
+        let (mut net, mut flits_a) = loaded_net(9);
+        let mut e = Enc::new();
+        net.snapshot_state(&mut e);
+        let bytes = e.into_bytes();
+        let mut restored = Network::mesh(NocConfig::mesh(4));
+        restored.enable_trace(64);
+        let mut d = Dec::new(&bytes);
+        restored.restore_state(&mut d).unwrap();
+        d.finish().unwrap();
+        // Same aggregates immediately after restore...
+        assert_eq!(restored.cycle(), net.cycle());
+        assert_eq!(restored.buffered_flits(), net.buffered_flits());
+        assert_eq!(restored.stats(), net.stats());
+        // ...and bit-identical evolution: drive both with the remaining
+        // flits and compare everything observable.
+        let mut flits_b: Vec<_> = flits_a.to_vec();
+        let dst = Coord::new(0, 0);
+        let drive = |net: &mut Network,
+                     pend: &mut Vec<std::iter::Peekable<std::vec::IntoIter<Flit>>>| {
+            let mut ejected = Vec::new();
+            for _ in 0..600 {
+                for flits in pend.iter_mut() {
+                    if let Some(&f) = flits.peek() {
+                        let inj = net.local_injector(f.src);
+                        if net.try_inject_flit(inj, f) {
+                            flits.next();
+                        }
+                    }
+                }
+                net.step();
+                while let Some(f) = net.pop_ejected_node(dst) {
+                    ejected.push((net.cycle(), f));
+                }
+            }
+            ejected
+        };
+        let a = drive(&mut net, &mut flits_a);
+        let b = drive(&mut restored, &mut flits_b);
+        assert_eq!(a, b, "ejection streams diverged after restore");
+        assert_eq!(net.stats(), restored.stats(), "stats diverged after restore");
+        assert_eq!(
+            net.drain_trace(),
+            restored.drain_trace(),
+            "flit traces diverged after restore"
+        );
+    }
+
+    #[test]
+    fn snapshot_restore_rejects_corruption_structurally() {
+        use equinox_snap::{Dec, Enc, SnapError};
+        let (net, _) = loaded_net(9);
+        let mut e = Enc::new();
+        net.snapshot_state(&mut e);
+        let bytes = e.into_bytes();
+        // Every truncation point must fail with an error, never panic.
+        for cut in (0..bytes.len()).step_by(7) {
+            let mut fresh = Network::mesh(NocConfig::mesh(4));
+            fresh.enable_trace(64);
+            assert!(
+                fresh.restore_state(&mut Dec::new(&bytes[..cut])).is_err(),
+                "cut at {cut} must fail"
+            );
+        }
+        // A topology mismatch is a BadValue, not a crash.
+        let mut wrong = Network::mesh(NocConfig::mesh_8x8());
+        assert!(matches!(
+            wrong.restore_state(&mut Dec::new(&bytes)),
+            Err(SnapError::BadValue(_))
+        ));
+        // Audit arming must match between snapshot and target.
+        let mut unarmed = Network::mesh(NocConfig::mesh(4));
+        unarmed.enable_trace(64);
+        let mut armed_src = Network::mesh(NocConfig::mesh(4));
+        armed_src.enable_audit(AuditConfig::default());
+        let mut e = Enc::new();
+        armed_src.snapshot_state(&mut e);
+        let armed_bytes = e.into_bytes();
+        assert!(matches!(
+            unarmed.restore_state(&mut Dec::new(&armed_bytes)),
+            Err(SnapError::BadValue(_))
+        ));
     }
 
     #[test]

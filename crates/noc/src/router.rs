@@ -183,6 +183,75 @@ impl Router {
             .flat_map(|vc| vc.buf.iter())
             .any(|&(_, f)| f.class == class)
     }
+
+    /// Serializes the router's dynamic state: per-input-VC buffers and
+    /// allocations, arbiter pointers, and per-output-VC credits/owners.
+    /// Coordinates, port roles and feed links are topology and skipped.
+    pub(crate) fn snap_state(&self, e: &mut equinox_snap::Enc) {
+        use equinox_snap::Snap;
+        for ip in &self.inputs {
+            e.put_usize(ip.sa_ptr);
+            for vc in &ip.vcs {
+                vc.buf.snap(e);
+                vc.out_port.snap(e);
+                vc.out_vc.snap(e);
+            }
+        }
+        for op in &self.outputs {
+            e.put_usize(op.sa_ptr);
+            for vc in &op.vcs {
+                e.put_u32(vc.credits);
+                vc.owner.snap(e);
+            }
+        }
+    }
+
+    /// Restores state written by [`Router::snap_state`] into a router of
+    /// the *same* shape; `depth` is the configured per-VC buffer capacity
+    /// used to validate restored buffers and credit counters.
+    pub(crate) fn restore_state(
+        &mut self,
+        d: &mut equinox_snap::Dec,
+        depth: u32,
+    ) -> Result<(), equinox_snap::SnapError> {
+        use equinox_snap::{Snap, SnapError};
+        let nports = self.inputs.len();
+        for ip in &mut self.inputs {
+            ip.sa_ptr = d.usize()?;
+            if ip.sa_ptr >= ip.vcs.len().max(1) {
+                return Err(SnapError::BadValue("input sa_ptr"));
+            }
+            for vc in &mut ip.vcs {
+                let buf: VecDeque<(u64, Flit)> = VecDeque::restore(d)?;
+                if buf.len() > depth as usize {
+                    return Err(SnapError::BadValue("input buffer over depth"));
+                }
+                vc.buf = buf;
+                vc.out_port = Option::restore(d)?;
+                vc.out_vc = Option::restore(d)?;
+                if vc.out_port.is_some_and(|p| p >= nports) {
+                    return Err(SnapError::BadValue("allocated out_port"));
+                }
+            }
+        }
+        for op in &mut self.outputs {
+            op.sa_ptr = d.usize()?;
+            if op.sa_ptr >= nports.max(1) {
+                return Err(SnapError::BadValue("output sa_ptr"));
+            }
+            for vc in &mut op.vcs {
+                vc.credits = d.u32()?;
+                if vc.credits > depth {
+                    return Err(SnapError::BadValue("credits over depth"));
+                }
+                vc.owner = Option::restore(d)?;
+                if vc.owner.is_some_and(|(p, _)| p >= nports) {
+                    return Err(SnapError::BadValue("owner input port"));
+                }
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

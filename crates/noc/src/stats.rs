@@ -42,6 +42,43 @@ pub struct NetStats {
     pub router_cycles: Vec<u64>,
 }
 
+impl equinox_snap::Snap for NetStats {
+    fn snap(&self, e: &mut equinox_snap::Enc) {
+        e.put_u64(self.cycles);
+        e.put_u64(self.buffer_writes);
+        e.put_u64(self.buffer_reads);
+        e.put_u64(self.xbar_traversals);
+        e.put_u64(self.vc_allocs);
+        e.put_u64(self.link_flits_mesh);
+        e.put_u64(self.link_flits_interposer);
+        e.put_u64(self.link_flits_ni);
+        e.put_u64(self.ejected_flits);
+        e.put_u64(self.injected_flits);
+        self.router_flits.snap(e);
+        self.router_cycles.snap(e);
+    }
+    fn restore(d: &mut equinox_snap::Dec) -> Result<Self, equinox_snap::SnapError> {
+        let s = NetStats {
+            cycles: d.u64()?,
+            buffer_writes: d.u64()?,
+            buffer_reads: d.u64()?,
+            xbar_traversals: d.u64()?,
+            vc_allocs: d.u64()?,
+            link_flits_mesh: d.u64()?,
+            link_flits_interposer: d.u64()?,
+            link_flits_ni: d.u64()?,
+            ejected_flits: d.u64()?,
+            injected_flits: d.u64()?,
+            router_flits: Vec::restore(d)?,
+            router_cycles: Vec::restore(d)?,
+        };
+        if s.router_flits.len() != s.router_cycles.len() {
+            return Err(equinox_snap::SnapError::BadValue("router stats lengths"));
+        }
+        Ok(s)
+    }
+}
+
 impl NetStats {
     /// Creates zeroed stats for `routers` routers.
     pub fn new(routers: usize) -> Self {

@@ -84,6 +84,64 @@ impl Trace {
     pub fn packet_path(&self, pkt: PacketId) -> Vec<TraceEvent> {
         self.events.iter().copied().filter(|e| e.pkt == pkt).collect()
     }
+
+    /// Serializes the recorded events. The capacity is build-time
+    /// configuration and not written.
+    pub fn snap_state(&self, e: &mut equinox_snap::Enc) {
+        use equinox_snap::Snap;
+        self.events.snap(e);
+    }
+
+    /// Restores events into a recorder of the *same* capacity.
+    pub fn restore_state(
+        &mut self,
+        d: &mut equinox_snap::Dec,
+    ) -> Result<(), equinox_snap::SnapError> {
+        use equinox_snap::Snap;
+        let events: VecDeque<TraceEvent> = VecDeque::restore(d)?;
+        if events.len() > self.capacity {
+            return Err(equinox_snap::SnapError::BadValue("trace over capacity"));
+        }
+        self.events = events;
+        Ok(())
+    }
+}
+
+impl equinox_snap::Snap for TraceKind {
+    fn snap(&self, e: &mut equinox_snap::Enc) {
+        e.put_u8(match self {
+            TraceKind::Inject => 0,
+            TraceKind::Hop => 1,
+            TraceKind::Eject => 2,
+        });
+    }
+    fn restore(d: &mut equinox_snap::Dec) -> Result<Self, equinox_snap::SnapError> {
+        match d.u8()? {
+            0 => Ok(TraceKind::Inject),
+            1 => Ok(TraceKind::Hop),
+            2 => Ok(TraceKind::Eject),
+            _ => Err(equinox_snap::SnapError::BadValue("trace kind tag")),
+        }
+    }
+}
+
+impl equinox_snap::Snap for TraceEvent {
+    fn snap(&self, e: &mut equinox_snap::Enc) {
+        e.put_u64(self.cycle);
+        e.put_usize(self.router);
+        self.pkt.snap(e);
+        e.put_u16(self.seq);
+        self.kind.snap(e);
+    }
+    fn restore(d: &mut equinox_snap::Dec) -> Result<Self, equinox_snap::SnapError> {
+        Ok(TraceEvent {
+            cycle: d.u64()?,
+            router: d.usize()?,
+            pkt: PacketId::restore(d)?,
+            seq: d.u16()?,
+            kind: TraceKind::restore(d)?,
+        })
+    }
 }
 
 #[cfg(test)]

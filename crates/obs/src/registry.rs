@@ -109,6 +109,53 @@ impl Registry {
         &self.histograms[id.0].1
     }
 
+    /// Serializes every metric's *value* in registration order. Names
+    /// and histogram bounds are registration-time configuration and are
+    /// not written; restore validates counts against this registry's
+    /// registrations.
+    pub fn snap_state(&self, e: &mut equinox_snap::Enc) {
+        e.put_usize(self.counters.len());
+        for (_, v) in &self.counters {
+            e.put_u64(*v);
+        }
+        e.put_usize(self.gauges.len());
+        for (_, v) in &self.gauges {
+            e.put_f64(*v);
+        }
+        e.put_usize(self.histograms.len());
+        for (_, h) in &self.histograms {
+            h.snap_state(e);
+        }
+    }
+
+    /// Restores state written by [`Registry::snap_state`] into a
+    /// registry with the same registrations.
+    pub fn restore_state(
+        &mut self,
+        d: &mut equinox_snap::Dec,
+    ) -> Result<(), equinox_snap::SnapError> {
+        use equinox_snap::SnapError;
+        if d.usize()? != self.counters.len() {
+            return Err(SnapError::BadValue("registry counter count"));
+        }
+        for (_, v) in &mut self.counters {
+            *v = d.u64()?;
+        }
+        if d.usize()? != self.gauges.len() {
+            return Err(SnapError::BadValue("registry gauge count"));
+        }
+        for (_, v) in &mut self.gauges {
+            *v = d.f64()?;
+        }
+        if d.usize()? != self.histograms.len() {
+            return Err(SnapError::BadValue("registry histogram count"));
+        }
+        for (_, h) in &mut self.histograms {
+            h.restore_state(d)?;
+        }
+        Ok(())
+    }
+
     /// All counters `(name, value)` in registration order.
     pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
         self.counters.iter().map(|(n, v)| (n.as_str(), *v))

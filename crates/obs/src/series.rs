@@ -85,6 +85,49 @@ impl TimeSeries {
         }
     }
 
+    /// Serializes recorded rows and the dropped counter. Interval,
+    /// capacity and column names are construction-time configuration
+    /// and are not written.
+    pub fn snap_state(&self, e: &mut equinox_snap::Enc) {
+        use equinox_snap::Snap;
+        self.cycles.snap(e);
+        e.put_usize(self.columns.len());
+        for (_, vals) in &self.columns {
+            vals.snap(e);
+        }
+        e.put_u64(self.dropped);
+    }
+
+    /// Restores state written by [`TimeSeries::snap_state`] into a
+    /// sampler with the same registrations.
+    pub fn restore_state(
+        &mut self,
+        d: &mut equinox_snap::Dec,
+    ) -> Result<(), equinox_snap::SnapError> {
+        use equinox_snap::{Snap, SnapError};
+        let cycles: Vec<u64> = Vec::restore(d)?;
+        if cycles.len() > self.capacity {
+            return Err(SnapError::BadValue("series over capacity"));
+        }
+        if d.usize()? != self.columns.len() {
+            return Err(SnapError::BadValue("series column count"));
+        }
+        let mut cols = Vec::with_capacity(self.columns.len());
+        for _ in 0..self.columns.len() {
+            let vals: Vec<f64> = Vec::restore(d)?;
+            if vals.len() != cycles.len() {
+                return Err(SnapError::BadValue("series column length"));
+            }
+            cols.push(vals);
+        }
+        self.cycles = cycles;
+        for ((_, dst), src) in self.columns.iter_mut().zip(cols) {
+            *dst = src;
+        }
+        self.dropped = d.u64()?;
+        Ok(())
+    }
+
     /// The shared cycle axis.
     pub fn cycles(&self) -> &[u64] {
         &self.cycles

@@ -231,6 +231,63 @@ impl Pe {
     pub fn remaining(&self) -> u64 {
         self.remaining
     }
+
+    /// Serializes the PE's dynamic state (progress counters, RNG, the
+    /// address-stream cursor and a held-back op). The profile, quota,
+    /// MSHR cap, working-set geometry and phase knob are build-time.
+    pub fn snap_state(&self, e: &mut equinox_snap::Enc) {
+        use equinox_snap::Snap;
+        e.put_u64(self.remaining);
+        e.put_u32(self.outstanding);
+        self.rng.snap(e);
+        e.put_u64(self.cursor);
+        e.put_u32(self.burst_left);
+        match self.pending {
+            None => e.put_bool(false),
+            Some(op) => {
+                e.put_bool(true);
+                e.put_u64(op.addr);
+                e.put_bool(op.write);
+            }
+        }
+        e.put_u64(self.stats.retired);
+        e.put_u64(self.stats.stall_cycles);
+        e.put_u64(self.stats.mem_ops);
+    }
+
+    /// Restores state written by [`Pe::snap_state`] into a PE built with
+    /// the same constructor arguments.
+    pub fn restore_state(
+        &mut self,
+        d: &mut equinox_snap::Dec,
+    ) -> Result<(), equinox_snap::SnapError> {
+        use equinox_snap::{Snap, SnapError};
+        let remaining = d.u64()?;
+        if remaining > self.quota {
+            return Err(SnapError::BadValue("pe remaining over quota"));
+        }
+        let outstanding = d.u32()?;
+        if outstanding > self.mshr_cap {
+            return Err(SnapError::BadValue("pe outstanding over mshr cap"));
+        }
+        self.remaining = remaining;
+        self.outstanding = outstanding;
+        self.rng = Rng::restore(d)?;
+        self.cursor = d.u64()?;
+        self.burst_left = d.u32()?;
+        self.pending = if d.bool()? {
+            Some(MemOp {
+                addr: d.u64()?,
+                write: d.bool()?,
+            })
+        } else {
+            None
+        };
+        self.stats.retired = d.u64()?;
+        self.stats.stall_cycles = d.u64()?;
+        self.stats.mem_ops = d.u64()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

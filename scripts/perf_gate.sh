@@ -24,9 +24,18 @@
 #      independent; it is skipped (with a notice) when the runner has
 #      fewer than 4 cores, where a 4-lane team cannot physically scale.
 #
+#   4. `cached_sweep_speedup` (the quick repro sweep served from the
+#      content-addressed result cache vs computed) must reach
+#      PERF_GATE_CACHE_RATIO. Another within-run ratio: replaying
+#      finished RunMetrics from disk skips the simulation entirely, so a
+#      healthy cache beats the computed sweep by orders of magnitude
+#      (measured >100x); the conservative floor only trips when caching
+#      silently stops hitting.
+#
 # Usage: scripts/perf_gate.sh
 # Env:   PERF_GATE_MIN_PCT (default 40), PERF_GATE_RATIO (default 6),
-#        PERF_GATE_SIM_RATIO (default 1.5), PERF_GATE_SCALE (default 0.15)
+#        PERF_GATE_SIM_RATIO (default 1.5), PERF_GATE_CACHE_RATIO
+#        (default 3), PERF_GATE_SCALE (default 0.15)
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -34,6 +43,7 @@ cd "$(dirname "$0")/.."
 MIN_PCT="${PERF_GATE_MIN_PCT:-40}"
 RATIO="${PERF_GATE_RATIO:-6}"
 SIM_RATIO="${PERF_GATE_SIM_RATIO:-1.5}"
+CACHE_RATIO="${PERF_GATE_CACHE_RATIO:-3}"
 SCALE="${PERF_GATE_SCALE:-0.15}"
 
 if [ ! -x target/release/perf ]; then
@@ -81,4 +91,14 @@ else
     sim_note="sim-thread speedup check skipped (${cores} cores < 4; measured ${speedup}x)"
 fi
 
-echo "perf_gate: OK — single $single >= $min (${MIN_PCT}% of $base), low-load $low >= ${RATIO}x single ($floor), $sim_note"
+cache_speedup=$(echo "$out" | sed -n 's/.*"cached_sweep_speedup": \([0-9.]*\).*/\1/p')
+if [ -z "$cache_speedup" ]; then
+    echo "perf_gate: failed to parse cached_sweep_speedup" >&2
+    exit 1
+fi
+if ! awk -v s="$cache_speedup" -v r="$CACHE_RATIO" 'BEGIN { exit !(s >= r) }'; then
+    echo "perf_gate: FAIL — cached_sweep_speedup ${cache_speedup}x < ${CACHE_RATIO}x: result cache regressed" >&2
+    exit 1
+fi
+
+echo "perf_gate: OK — single $single >= $min (${MIN_PCT}% of $base), low-load $low >= ${RATIO}x single ($floor), $sim_note, cached sweep ${cache_speedup}x >= ${CACHE_RATIO}x"

@@ -15,6 +15,7 @@
 //! * [`exec`] — worker pool + deterministic PRNG streams
 //! * [`obs`] — metrics registry, span profiler, trace export
 //! * [`bench`] — experiment runners behind the repro binaries
+//! * [`snap`] — snapshot codec + content-addressed checkpoint cache
 
 pub use equinox_bench as bench;
 pub use equinox_config as config;
@@ -27,4 +28,5 @@ pub use equinox_obs as obs;
 pub use equinox_phys as phys;
 pub use equinox_placement as placement;
 pub use equinox_power as power;
+pub use equinox_snap as snap;
 pub use equinox_traffic as traffic;

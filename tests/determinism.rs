@@ -244,6 +244,104 @@ fn parallel_flit_trace_matches_serial_golden() {
     );
 }
 
+/// The [`artifact_snapshot`] envelope for a run that is optionally
+/// forked: when `fork_cycle` is `Some(c)`, the system is stepped to
+/// cycle `c`, snapshotted, restored into a *fresh* identically-
+/// configured build, and finished there. Everything observable —
+/// metrics, NetStats and the obs/v1 block — comes from whichever system
+/// finished the run. Returns the artifact and the run's cycle count (so
+/// callers can pick fork points strictly inside the run).
+fn forked_artifact_snapshot(scheme: SchemeKind, fork_cycle: Option<u64>) -> (String, u64) {
+    use equinox_suite::bench::artifact::{artifact, net_stats_json, run_metrics_json};
+    use equinox_suite::config::{ExperimentSpec, Json};
+    let spec = ExperimentSpec::default();
+    let build = || {
+        let workload = Workload::new(benchmark("bfs").unwrap(), 0.05, 7);
+        let mut cfg = SystemConfig::from_spec(scheme, 8, workload, &spec);
+        cfg.obs = Some(equinox_suite::core::ObsConfig {
+            interval: 500,
+            ..Default::default()
+        });
+        System::build(cfg)
+    };
+    let mut sys = build();
+    if let Some(c) = fork_cycle {
+        while sys.cycle() < c {
+            sys.step();
+        }
+        let snap = sys.snapshot();
+        sys = build();
+        sys.restore(&snap).expect("identical build accepts the snapshot");
+        assert!(sys.cycle() >= c, "restore resumes at the snapshot cycle");
+    }
+    let m = sys.run();
+    assert!(m.completed);
+    let nets: Vec<Json> = sys.networks().iter().map(|n| net_stats_json(n.stats())).collect();
+    let results = Json::obj()
+        .with("metrics", run_metrics_json(&m))
+        .with("net_stats", nets)
+        .with("obs", sys.obs_json().expect("obs armed"));
+    (artifact("determinism", &spec, results).pretty(), m.cycles)
+}
+
+#[test]
+fn forked_run_artifact_is_byte_identical_to_straight_through() {
+    // The checkpoint/fork contract: snapshotting mid-run and finishing
+    // from a restored fresh build must change nothing observable — the
+    // full artifact, including the obs/v1 block, is byte-identical to a
+    // straight-through run's. Da2Mesh exercises the multi-network shape,
+    // EquiNox the EIR injection ports. Fork points are fractions of the
+    // measured completion cycle so the snapshot always lands mid-run.
+    for scheme in [SchemeKind::EquiNox, SchemeKind::Da2Mesh] {
+        let (straight, total) = forked_artifact_snapshot(scheme, None);
+        for frac in [4u64, 2] {
+            let fork_at = (total / frac).max(1);
+            let (forked, _) = forked_artifact_snapshot(scheme, Some(fork_at));
+            if straight != forked {
+                for (a, b) in straight.lines().zip(forked.lines()) {
+                    if a != b {
+                        panic!(
+                            "{}: artifact diverged when forked at cycle {fork_at}:\n  straight: {a}\n  forked:   {b}",
+                            scheme.name()
+                        );
+                    }
+                }
+                panic!(
+                    "{}: artifact diverged in length when forked at cycle {fork_at}",
+                    scheme.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn result_cache_replays_bit_identical_metrics() {
+    // The content-addressed result cache: with `checkpoint_dir` armed,
+    // the first call computes and stores each matrix cell, the second
+    // replays it from disk — and both are bit-identical to an uncached
+    // run of the same spec. The cache dir is per-test and set by value
+    // on the spec (never via the environment; tests run concurrently).
+    use equinox_suite::bench::run_seeds_spec;
+    use equinox_suite::config::ExperimentSpec;
+    let dir = std::env::temp_dir().join(format!("eqsn_det_cache_{}", std::process::id()));
+    let mut spec = ExperimentSpec::default();
+    spec.scale = 0.05;
+    let straight = run_seeds_spec(SchemeKind::SeparateBase, 8, "gaussian", &spec);
+    spec.checkpoint_dir = dir.to_string_lossy().into_owned();
+    let cold = run_seeds_spec(SchemeKind::SeparateBase, 8, "gaussian", &spec);
+    let warm = run_seeds_spec(SchemeKind::SeparateBase, 8, "gaussian", &spec);
+    assert_metrics_identical(&straight, &cold);
+    assert_metrics_identical(&straight, &warm);
+    // A corrupted entry is a miss, not bad data: the cell recomputes.
+    for entry in std::fs::read_dir(&dir).unwrap() {
+        std::fs::write(entry.unwrap().path(), b"junk").unwrap();
+    }
+    let recovered = run_seeds_spec(SchemeKind::SeparateBase, 8, "gaussian", &spec);
+    assert_metrics_identical(&straight, &recovered);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn obs_block_is_worker_count_independent() {
     // The artifact's obs/v1 block holds only cycle-derived data (the
