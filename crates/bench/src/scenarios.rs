@@ -62,6 +62,7 @@ pub fn scenarios() -> &'static [Scenario] {
         Scenario { name: "perf", about: "Micro-benchmark the simulation substrate", run: perf },
         Scenario { name: "observe", about: "Instrumented EquiNox run: obs/v1 metrics block + Chrome trace", run: observe },
         Scenario { name: "designer", about: "Search and export an EquiNox design", run: designer },
+        Scenario { name: "fabric", about: "Synthetic-traffic stress run on any topology (--topology/--traffic)", run: fabric },
         Scenario { name: "all", about: "Every paper table and figure in sequence", run: all },
     ];
     SCENARIOS
@@ -970,10 +971,150 @@ fn observe(spec: &ExperimentSpec, log: &mut dyn Write) -> Json {
     j
 }
 
+/// Synthetic-traffic stress run on an arbitrary fabric: builds a bare
+/// network from the spec's `--topology` / `--n`, drives the spec's
+/// `--traffic` pattern at `--scale` packets per node per cycle for
+/// `--cycles` cycles, drains to quiescence, and self-checks a
+/// mid-flight snapshot → restore → snapshot byte round-trip. With
+/// `--audit` the invariant auditor sweeps the whole run, so this is the
+/// deadlock-freedom gauntlet for new topologies.
+fn fabric(spec: &ExperimentSpec, log: &mut dyn Write) -> Json {
+    use equinox_exec::Rng;
+    use equinox_noc::flit::{Flit, MessageClass, PacketDesc};
+    use equinox_noc::network::Network;
+    use equinox_noc::{NocConfig, TopologyKind};
+    use equinox_traffic::SyntheticPattern;
+
+    // The spec layer validated both names; failure here means the spec
+    // and noc/traffic registries drifted apart.
+    let topo = TopologyKind::parse(&spec.topology).expect("spec-validated topology");
+    let pattern = SyntheticPattern::parse(&spec.traffic).expect("spec-validated traffic");
+    header(
+        log,
+        &format!("Fabric stress: {} {}x{}, {} traffic", topo.name(), spec.n, spec.n, pattern.name()),
+    );
+
+    let mut cfg = NocConfig::fabric(topo, spec.n);
+    cfg.pipeline_extra = spec.pipeline_extra;
+    cfg.activity_gate = spec.activity_gate;
+    let arm = |cfg: &NocConfig| {
+        let mut net = Network::new(cfg.clone());
+        if let Some(a) = audit_cfg(spec) {
+            net.enable_audit(a);
+        }
+        net
+    };
+    let mut net = arm(&cfg);
+    let (w, h) = (net.width(), net.height());
+    let nodes: Vec<Coord> = (0..h).flat_map(|y| (0..w).map(move |x| Coord::new(x, y))).collect();
+    let offered = spec.scale;
+    let cycles = spec.cycles;
+    let mut rng = Rng::seed_from_u64(spec.seed);
+    let len = 5u16;
+    let mut pending: Vec<Vec<Flit>> = vec![Vec::new(); nodes.len()];
+    let mut pkt_id = 0u64;
+    let mut born: Vec<u64> = Vec::new();
+    let mut delivered = 0u64;
+    let mut latency_sum = 0u64;
+    let mut roundtrip = false;
+
+    let mut t = 0u64;
+    // Measured window, then drain with injection stopped (budget scales
+    // with what is still in flight; a healthy fabric needs a fraction).
+    while t < cycles + 200_000 {
+        for (i, &src) in nodes.iter().enumerate() {
+            // New packets only inside the measured window; flits of a
+            // packet already started keep streaming during the drain.
+            if t < cycles
+                && pending[i].is_empty()
+                && pattern.active(t, i)
+                && rng.random::<f64>() < offered
+            {
+                if let Some(d) = pattern.dest(i, w, h, &mut rng) {
+                    let dst = nodes[d];
+                    let desc = PacketDesc::new(pkt_id, src, dst, MessageClass::Reply, len);
+                    pkt_id += 1;
+                    born.push(t);
+                    let mut flits = desc.flits(w);
+                    flits.reverse(); // pop from the back
+                    pending[i] = flits;
+                }
+            }
+            if let Some(&f) = pending[i].last() {
+                let inj = net.local_injector(src);
+                if net.try_inject_flit(inj, f) {
+                    pending[i].pop();
+                }
+            }
+        }
+        net.step();
+        for &node in &nodes {
+            while let Some(f) = net.pop_ejected_node(node) {
+                if f.seq + 1 == len {
+                    delivered += 1;
+                    latency_sum += t + 1 - born[f.pkt.0 as usize];
+                }
+            }
+        }
+        if t + 1 == cycles / 2 {
+            // Snapshot → restore into a fresh identically-armed network
+            // → snapshot again: the two byte streams must be identical.
+            let mut e = equinox_snap::Enc::new();
+            net.snapshot_state(&mut e);
+            let bytes = e.into_bytes();
+            let mut twin = arm(&cfg);
+            twin.restore_state(&mut equinox_snap::Dec::new(&bytes))
+                .expect("mid-flight snapshot restores");
+            let mut e2 = equinox_snap::Enc::new();
+            twin.snapshot_state(&mut e2);
+            assert_eq!(bytes, e2.into_bytes(), "snapshot round-trip drifted");
+            roundtrip = true;
+        }
+        t += 1;
+        if t >= cycles && net.quiescent() && pending.iter().all(Vec::is_empty) {
+            break;
+        }
+    }
+    assert!(net.quiescent(), "fabric failed to drain after injection stopped");
+
+    let s = net.stats();
+    let avg_lat = if delivered > 0 { latency_sum as f64 / delivered as f64 } else { 0.0 };
+    let throughput = s.ejected_flits as f64 / t.max(1) as f64 / nodes.len() as f64;
+    out!(log, "  offered {offered} pkt/node/cycle for {cycles} cycles (+{} drain)", t.saturating_sub(cycles));
+    out!(log, "  delivered {delivered}/{pkt_id} packets, avg latency {avg_lat:.1} cycles");
+    out!(log, "  throughput {throughput:.4} flits/node/cycle");
+    if spec.audit {
+        out!(log, "  audit: {} sweeps, {} violations", net.audit_sweeps(), net.audit_violations().len());
+    }
+    assert_eq!(delivered, pkt_id, "every injected packet must arrive");
+    assert_eq!(s.injected_flits, s.ejected_flits);
+
+    let mut j = Json::obj()
+        .with("topology", topo.name())
+        .with("traffic", pattern.name())
+        .with("width", w)
+        .with("height", h)
+        .with("offered", offered)
+        .with("cycles", cycles)
+        .with("drain_cycles", t.saturating_sub(cycles))
+        .with("packets", pkt_id)
+        .with("avg_packet_latency", avg_lat)
+        .with("throughput_flits_per_node_cycle", throughput)
+        .with("injected_flits", s.injected_flits)
+        .with("ejected_flits", s.ejected_flits)
+        .with("snapshot_roundtrip", roundtrip);
+    if spec.audit {
+        j = j
+            .with("audit_sweeps", net.audit_sweeps())
+            .with("audit_violations", net.audit_violations().len() as u64);
+    }
+    j
+}
+
 fn all(spec: &ExperimentSpec, log: &mut dyn Write) -> Json {
     let mut j = Json::obj();
     for s in scenarios() {
-        if matches!(s.name, "all" | "sweep" | "loadlat" | "perf" | "observe" | "designer") {
+        if matches!(s.name, "all" | "sweep" | "loadlat" | "perf" | "observe" | "designer" | "fabric") {
             continue;
         }
         j = j.with(s.name, (s.run)(spec, &mut *log));
@@ -1008,6 +1149,52 @@ mod tests {
             j.get("Link width").and_then(Json::as_str),
             Some("128 bits")
         );
+    }
+
+    #[test]
+    fn spec_choice_lists_match_the_parsers() {
+        // The spec layer validates names against its own static lists;
+        // this pins them to the actual parsers so they cannot drift.
+        for t in equinox_config::spec::TOPOLOGY_CHOICES {
+            let k = equinox_noc::TopologyKind::parse(t).expect("spec topology parses");
+            assert_eq!(k.name(), *t);
+        }
+        for p in equinox_config::spec::TRAFFIC_CHOICES {
+            let k = equinox_traffic::SyntheticPattern::parse(p).expect("spec traffic parses");
+            assert_eq!(k.name(), *p);
+        }
+        assert_eq!(
+            equinox_config::spec::TRAFFIC_CHOICES.len(),
+            equinox_traffic::SyntheticPattern::all().len(),
+            "a pattern exists that the spec cannot name"
+        );
+    }
+
+    /// Every topology × pattern combination runs the fabric scenario
+    /// end-to-end under audit, including the snapshot round-trip
+    /// self-check. Short window, small grid: this is a smoke matrix,
+    /// the deep soaks live in the noc crate's property tests.
+    #[test]
+    fn fabric_scenario_runs_every_topology_and_pattern() {
+        for topo in equinox_config::spec::TOPOLOGY_CHOICES {
+            for traffic in equinox_config::spec::TRAFFIC_CHOICES {
+                let mut spec = ExperimentSpec::default();
+                spec.n = 4;
+                spec.topology = topo.to_string();
+                spec.traffic = traffic.to_string();
+                spec.scale = 0.1;
+                spec.cycles = 400;
+                spec.audit = true;
+                let mut log = Vec::new();
+                let j = fabric(&spec, &mut log);
+                assert_eq!(j.get("topology").and_then(Json::as_str), Some(*topo));
+                assert_eq!(j.get("traffic").and_then(Json::as_str), Some(*traffic));
+                assert_eq!(j.get("snapshot_roundtrip"), Some(&Json::Bool(true)));
+                assert_eq!(j.get("audit_violations").and_then(Json::as_u64), Some(0));
+                let inj = j.get("injected_flits").and_then(Json::as_u64).unwrap();
+                assert!(inj > 0, "{topo}/{traffic} must move traffic");
+            }
+        }
     }
 
     #[test]

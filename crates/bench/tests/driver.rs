@@ -26,7 +26,7 @@ fn every_scenario_resolves_and_appears_in_help() {
         assert!(help.contains(s.name), "--help must list '{}'", s.name);
     }
     // The flag section comes from the shared registry.
-    for flag in ["--scale", "--seeds", "--no-activity-gate", "--spec", "--out"] {
+    for flag in ["--scale", "--seeds", "--no-activity-gate", "--spec", "--out", "--topology", "--traffic"] {
         assert!(help.contains(flag), "--help must list '{flag}'");
     }
 }
@@ -47,6 +47,8 @@ fn malformed_values_and_unknown_flags_are_fatal() {
         (vec!["table1", "--bogus"], "--bogus"),
         (vec!["table1", "--scale"], "--scale"),
         (vec!["table1", "--seeds", "1,x"], "--seeds"),
+        (vec!["fabric", "--topology", "torus"], "--topology"),
+        (vec!["fabric", "--traffic", "tornado"], "--traffic"),
     ] {
         let out = driver().args(&args).output().expect("run driver");
         assert!(!out.status.success(), "{args:?} must exit nonzero");
@@ -162,6 +164,36 @@ fn observe_scenario_emits_obs_block_and_chrome_trace() {
     assert!(phases.contains(&"X"), "wall-clock span events present");
     assert!(phases.contains(&"i"), "flit instant events present");
     assert!(phases.contains(&"M"), "process/thread metadata present");
+}
+
+#[test]
+fn fabric_scenario_runs_end_to_end_through_the_driver() {
+    // A ring fabric under hotspot traffic, audited, through the real
+    // binary: the artifact must carry the new spec fields with CLI
+    // provenance and a clean audit + snapshot round-trip.
+    let out = driver()
+        .args([
+            "fabric", "--topology", "ring", "--traffic", "hotspot", "--n", "6", "--scale",
+            "0.08", "--cycles", "600", "--audit",
+        ])
+        .output()
+        .expect("run driver");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let artifact = parse_json(&String::from_utf8(out.stdout).unwrap()).expect("stdout is JSON");
+    assert_eq!(artifact.get("scenario").and_then(Json::as_str), Some("fabric"));
+    let spec = artifact.get("spec").expect("spec block");
+    assert_eq!(spec.get("topology").and_then(Json::as_str), Some("ring"));
+    assert_eq!(spec.get("traffic").and_then(Json::as_str), Some("hotspot"));
+    let prov = spec.get("provenance").expect("provenance block");
+    assert_eq!(prov.get("topology").and_then(Json::as_str), Some("cli"));
+    assert_eq!(prov.get("traffic").and_then(Json::as_str), Some("cli"));
+    let results = artifact.get("results").expect("results block");
+    assert_eq!(results.get("topology").and_then(Json::as_str), Some("ring"));
+    assert_eq!(results.get("snapshot_roundtrip").and_then(Json::as_bool), Some(true));
+    assert_eq!(results.get("audit_violations").and_then(Json::as_u64), Some(0));
+    let inj = results.get("injected_flits").and_then(Json::as_u64).unwrap();
+    let ej = results.get("ejected_flits").and_then(Json::as_u64).unwrap();
+    assert!(inj > 0 && inj == ej, "ring must move and conserve flits ({inj}/{ej})");
 }
 
 #[test]

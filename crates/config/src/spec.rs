@@ -49,8 +49,15 @@ impl Layer {
 /// historical flag defaults.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ExperimentSpec {
-    /// Mesh size (8, 12 or 16 in the paper).
+    /// Grid size (8, 12 or 16; the paper evaluates 8×8).
     pub n: u16,
+    /// Reply-fabric topology for schemes with dedicated reply subnets:
+    /// `mesh`, `ring` or `hring` (hierarchical ring). Request networks
+    /// always stay a mesh, matching the paper's baseline.
+    pub topology: String,
+    /// Synthetic traffic pattern for the fabric scenario: `uniform`,
+    /// `hotspot`, `transpose` or `bursty`.
+    pub traffic: String,
     /// Number of cache banks (Table 1: 8).
     pub n_cbs: u16,
     /// Multiplier on the per-PE instruction quota.
@@ -123,6 +130,8 @@ impl Default for ExperimentSpec {
     fn default() -> Self {
         ExperimentSpec {
             n: 8,
+            topology: "mesh".into(),
+            traffic: "uniform".into(),
             n_cbs: 8,
             scale: 0.5,
             seeds: vec![42, 7],
@@ -273,6 +282,25 @@ fn parse_bool(v: &str) -> Result<bool, String> {
     }
 }
 
+/// Topology names the spec accepts; must match
+/// `equinox_noc::TopologyKind::parse` (cross-checked by a bench test).
+pub const TOPOLOGY_CHOICES: &[&str] = &["mesh", "ring", "hring"];
+
+/// Traffic-pattern names the spec accepts; must match
+/// `equinox_traffic::SyntheticPattern::parse` (cross-checked by a
+/// bench test).
+pub const TRAFFIC_CHOICES: &[&str] = &["uniform", "hotspot", "transpose", "bursty"];
+
+/// Validates a closed-choice string field (lower-cased, trimmed).
+fn parse_choice(kind: &str, allowed: &[&str], v: &str) -> Result<String, String> {
+    let t = v.trim().to_ascii_lowercase();
+    if allowed.contains(&t.as_str()) {
+        Ok(t)
+    } else {
+        Err(format!("expected one of {} for {kind}, got '{v}'", allowed.join("/")))
+    }
+}
+
 fn json_u64(v: &Json) -> Result<u64, String> {
     v.as_u64()
         .ok_or_else(|| format!("expected a non-negative integer, got {}", v.to_compact()))
@@ -354,7 +382,45 @@ macro_rules! field {
 /// emission order.
 pub fn fields() -> &'static [FieldDef] {
     static FIELDS: &[FieldDef] = &[
-        field!(uint "n", "--n", "EQUINOX_N", n: u16, "mesh size (NxN routers)"),
+        field!(uint "n", "--n", "EQUINOX_N", n: u16, "grid size (NxN routers)"),
+        FieldDef {
+            name: "topology",
+            flag: "--topology",
+            env: "EQUINOX_TOPOLOGY",
+            takes_value: true,
+            help: "reply-fabric topology: mesh, ring or hring",
+            set_str: |s, v| {
+                s.topology = parse_choice("topology", TOPOLOGY_CHOICES, v)?;
+                Ok(())
+            },
+            set_json: |s, v| {
+                let t = v
+                    .as_str()
+                    .ok_or_else(|| format!("expected a topology name, got {}", v.to_compact()))?;
+                s.topology = parse_choice("topology", TOPOLOGY_CHOICES, t)?;
+                Ok(())
+            },
+            get_json: |s| Json::Str(s.topology.clone()),
+        },
+        FieldDef {
+            name: "traffic",
+            flag: "--traffic",
+            env: "EQUINOX_TRAFFIC",
+            takes_value: true,
+            help: "synthetic traffic pattern: uniform, hotspot, transpose or bursty",
+            set_str: |s, v| {
+                s.traffic = parse_choice("traffic", TRAFFIC_CHOICES, v)?;
+                Ok(())
+            },
+            set_json: |s, v| {
+                let t = v
+                    .as_str()
+                    .ok_or_else(|| format!("expected a traffic pattern, got {}", v.to_compact()))?;
+                s.traffic = parse_choice("traffic", TRAFFIC_CHOICES, t)?;
+                Ok(())
+            },
+            get_json: |s| Json::Str(s.traffic.clone()),
+        },
         field!(uint "n_cbs", "--cbs", "EQUINOX_CBS", n_cbs: u16, "number of cache banks"),
         field!(float "scale", "--scale", "EQUINOX_SCALE", scale, "per-PE instruction quota multiplier"),
         FieldDef {
@@ -611,6 +677,31 @@ mod tests {
         assert_eq!(s.sim_threads, 8);
         assert_eq!(s.provenance_of("sim_threads"), Some(Layer::File));
         assert!(s.set_str(f, "many", Layer::Cli).is_err());
+    }
+
+    #[test]
+    fn topology_and_traffic_parse_and_reject() {
+        let mut s = ExperimentSpec::default();
+        assert_eq!(s.topology, "mesh");
+        assert_eq!(s.traffic, "uniform");
+        let topo = field_by_flag("--topology").unwrap();
+        assert_eq!(topo.env, "EQUINOX_TOPOLOGY");
+        s.set_str(topo, " Ring ", Layer::Cli).unwrap();
+        assert_eq!(s.topology, "ring", "trimmed and lower-cased");
+        s.set_json(topo, &Json::Str("hring".into()), Layer::File).unwrap();
+        assert_eq!(s.topology, "hring");
+        let err = s.set_str(topo, "torus", Layer::Cli).unwrap_err();
+        assert!(err.contains("mesh/ring/hring"), "error lists choices: {err}");
+        assert!(s.set_json(topo, &Json::Num(3.0), Layer::File).is_err());
+        assert_eq!(s.provenance_of("topology"), Some(Layer::File));
+
+        let traffic = field_by_flag("--traffic").unwrap();
+        for p in TRAFFIC_CHOICES {
+            s.set_str(traffic, p, Layer::Env).unwrap();
+            assert_eq!(s.traffic, *p);
+        }
+        assert!(s.set_str(traffic, "tornado", Layer::Cli).is_err());
+        assert_eq!(s.provenance_of("traffic"), Some(Layer::Env));
     }
 
     #[test]

@@ -17,8 +17,10 @@ use equinox_exec::Rng;
 /// Result of a heat-map run.
 #[derive(Debug, Clone)]
 pub struct HeatMap {
-    /// Mesh width (the map is row-major `width × width`).
+    /// Grid width (the map is row-major `width × height`).
     pub width: u16,
+    /// Grid height. [`HeatMap::square`] builds the common square case.
+    pub height: u16,
     /// Average cycles a flit spends in each router.
     pub heat: Vec<f64>,
     /// Population variance across routers.
@@ -26,24 +28,34 @@ pub struct HeatMap {
 }
 
 impl HeatMap {
+    /// A `width × width` map (every paper scenario; rectangular grids
+    /// come from the topology-generalized fabrics).
+    pub fn square(width: u16, heat: Vec<f64>, variance: f64) -> Self {
+        HeatMap { width, height: width, heat, variance }
+    }
+
     /// The map as structured JSON for the `obs/v1` artifact block:
-    /// `{"width": W, "variance": V, "heat": [W*W values, row-major]}`.
+    /// `{"width": W, "variance": V, "heat": [W*H values, row-major]}`.
+    /// A `"height"` key is emitted only for non-square grids, keeping
+    /// the block byte-identical for every historical (square) run.
     /// The ASCII [`HeatMap::render`] stays for stderr reports.
     pub fn to_json(&self) -> equinox_config::Json {
         use equinox_config::Json;
-        Json::obj()
-            .with("width", self.width)
-            .with("variance", self.variance)
+        let mut j = Json::obj().with("width", self.width);
+        if self.height != self.width {
+            j = j.with("height", self.height);
+        }
+        j.with("variance", self.variance)
             .with(
                 "heat",
                 self.heat.iter().map(|&v| Json::Num(v)).collect::<Vec<_>>(),
             )
     }
 
-    /// Renders the map as an ASCII grid (one row per mesh row).
+    /// Renders the map as an ASCII grid (one row per grid row).
     pub fn render(&self) -> String {
         let mut out = String::new();
-        for y in 0..self.width {
+        for y in 0..self.height {
             for x in 0..self.width {
                 let v = self.heat[(y * self.width + x) as usize];
                 out.push_str(&format!("{v:5.1} "));
@@ -94,11 +106,7 @@ pub fn placement_heatmap(placement: &Placement, offered: f64, cycles: u64, seed:
         let _ = t;
     }
     let stats = net.stats();
-    HeatMap {
-        width: n,
-        heat: stats.heat_map(),
-        variance: stats.heat_variance(),
-    }
+    HeatMap::square(n, stats.heat_map(), stats.heat_variance())
 }
 
 #[cfg(test)]
@@ -161,6 +169,22 @@ mod tests {
         // The JSON block must round-trip through the artifact parser.
         let parsed = equinox_config::parse_json(&j.pretty()).expect("valid JSON");
         assert_eq!(parsed, j);
+    }
+
+    #[test]
+    fn non_square_maps_carry_height() {
+        let h = HeatMap {
+            width: 3,
+            height: 2,
+            heat: vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0],
+            variance: 0.0,
+        };
+        assert_eq!(h.render().lines().count(), 2, "one line per grid row");
+        let j = h.to_json();
+        assert_eq!(j.get("height").and_then(|v| v.as_u64()), Some(2));
+        // Square maps keep the historical shape: no "height" key.
+        let sq = HeatMap::square(2, vec![0.0; 4], 0.0);
+        assert!(sq.to_json().get("height").is_none());
     }
 
     #[test]

@@ -358,6 +358,7 @@ impl SystemObs {
             .map(|(i, net)| {
                 let hm = HeatMap {
                     width: net.width(),
+                    height: net.height(),
                     heat: net.stats().heat_map(),
                     variance: net.stats().heat_variance(),
                 };

@@ -28,8 +28,13 @@ use equinox_traffic::{Pe, Workload};
 pub struct SystemConfig {
     /// Which of the seven schemes to build.
     pub scheme: SchemeKind,
-    /// Mesh size (8, 12 or 16 in the paper).
+    /// Grid size (8, 12 or 16; the paper evaluates 8×8).
     pub n: u16,
+    /// Fabric for the dedicated reply subnet of the two-network schemes
+    /// (SeparateBase / MultiPort / EquiNox). Request networks and the
+    /// structurally different schemes (single-net, CMesh, DA2Mesh's
+    /// single-VC subnets) always stay a mesh, so this is ignored there.
+    pub reply_topology: equinox_noc::TopologyKind,
     /// Number of cache banks (Table 1: 8).
     pub n_cbs: u16,
     /// The benchmark workload.
@@ -95,6 +100,7 @@ impl SystemConfig {
         SystemConfig {
             scheme,
             n,
+            reply_topology: equinox_noc::TopologyKind::Mesh,
             n_cbs: 8,
             workload,
             max_cycles: 2_000_000,
@@ -134,6 +140,10 @@ impl SystemConfig {
     /// auditing, activity gating); structural choices (`scheme`, `n`,
     /// `workload`, `design`, `placement_override`, `hbm`) are untouched.
     pub fn apply_spec(&mut self, spec: &equinox_config::ExperimentSpec) {
+        // The spec setter already validated the name, so a parse failure
+        // here means the registries drifted apart — fail loudly.
+        self.reply_topology = equinox_noc::TopologyKind::parse(&spec.topology)
+            .unwrap_or_else(|e| panic!("spec topology: {e}"));
         self.n_cbs = spec.n_cbs;
         self.max_cycles = spec.max_cycles;
         self.ni_queue_cap = spec.ni_queue_cap;
@@ -332,7 +342,10 @@ impl System {
             }
             SchemeKind::SeparateBase | SchemeKind::MultiPort | SchemeKind::EquiNox => {
                 nets.push(Network::mesh(pipe(NocConfig::mesh(n)))); // request
-                nets.push(Network::mesh(pipe(NocConfig::mesh(n)))); // reply
+                // Reply subnet: mesh by default, or the spec-selected
+                // ring / hierarchical-ring fabric (same node set, so
+                // NIs, sinks and placement are untouched).
+                nets.push(Network::new(pipe(NocConfig::fabric(cfg.reply_topology, n))));
                 steps_per_two.extend([2, 2]);
                 mesh_links_in_rdl.extend([false, false]);
                 rdl_link_mm.extend([0.0, 0.0]);
@@ -1431,6 +1444,7 @@ impl System {
             .iter()
             .map(|n| crate::heatmap::HeatMap {
                 width: n.width(),
+                height: n.height(),
                 heat: n.stats().heat_map(),
                 variance: n.stats().heat_variance(),
             })

@@ -15,10 +15,14 @@
 //!    queue).
 //! 2. **Escape-VC compliance.** Deadlock freedom rests on the Duato
 //!    escape construction: the escape VC of each class partition (and any
-//!    monopolized foreign VC) may only be allocated along the
-//!    dimension-order (XY) direction. A violation here means the
-//!    channel-dependence graph can cycle — the exact property EquiNox's
-//!    EIR ports must preserve (§4.4).
+//!    monopolized foreign VC) may only be allocated along the fabric's
+//!    escape path — [`crate::topology::Topology::escape_port`], the XY
+//!    dimension-order port on a mesh — and on fabrics with escape capture
+//!    a flit that arrived on the escape VC must stay on it. A violation
+//!    here means the channel-dependence graph can cycle — the exact
+//!    property EquiNox's EIR ports must preserve (§4.4). The check is
+//!    generic over the topology: it asks the fabric for the escape port
+//!    instead of assuming dimension order.
 //! 3. **Watchdog.** If no flit moves for a configurable window while work
 //!    is pending, the network is wedged; instead of hanging a sweep, the
 //!    auditor emits a structured [`DeadlockReport`] naming the stuck
@@ -33,8 +37,7 @@
 use crate::flit::MessageClass;
 use crate::link::CreditDst;
 use crate::network::Network;
-use crate::router::OutputRole;
-use crate::routing::dor_direction;
+use crate::router::{OutputRole, PORT_LOCAL};
 use equinox_phys::Coord;
 use std::fmt;
 
@@ -141,7 +144,8 @@ pub enum Violation {
         /// Flits currently buffered, on links, or in ejection queues.
         resident: u64,
     },
-    /// An escape (or monopolized) VC was allocated off the DOR path.
+    /// An escape (or monopolized, or captured) VC was allocated off the
+    /// fabric's escape path.
     EscapeVcViolation {
         /// Router where the allocation lives.
         router: usize,
@@ -155,8 +159,8 @@ pub enum Violation {
         out_vc: u8,
         /// Allocated output port.
         out_port: usize,
-        /// The dimension-order port the allocation should have used.
-        dor_port: Option<usize>,
+        /// The escape port the allocation should have used.
+        escape_port: Option<usize>,
         /// Destination of the packet holding the allocation.
         dst: Coord,
     },
@@ -201,13 +205,13 @@ impl fmt::Display for Violation {
                 vc,
                 out_vc,
                 out_port,
-                dor_port,
+                escape_port,
                 dst,
             } => write!(
                 f,
                 "escape-VC discipline broken at router {router} {coord:?} input ({port},{vc}): \
-                 output vc {out_vc} allocated on port {out_port}, but the DOR port toward \
-                 {dst:?} is {dor_port:?}"
+                 output vc {out_vc} allocated on port {out_port}, but the escape port toward \
+                 {dst:?} is {escape_port:?}"
             ),
             Violation::Deadlock(report) => write!(f, "{report}"),
         }
@@ -482,12 +486,15 @@ fn check_flit_conservation(net: &Network, out: &mut Vec<Violation>) {
     }
 }
 
-/// Escape-VC discipline: an input VC allocated to the escape VC of its
-/// class partition (or to a borrowed foreign-class VC under VC-Mono) on a
-/// *link* output must hold the dimension-order port toward the packet's
-/// destination.
+/// Escape-VC discipline, checked against the fabric's own contract: an
+/// input VC allocated to the escape VC of its class partition (or to a
+/// borrowed foreign-class VC under VC-Mono) on a *link* output must hold
+/// the topology's escape port toward the packet's destination, and on
+/// capturing fabrics a flit that arrived over a network link on its
+/// escape VC must also have been allocated the escape VC again.
 fn check_escape_compliance(net: &Network, out: &mut Vec<Violation>) {
     let total = net.cfg.vcs_per_port;
+    let captures = net.topo.captures_escape();
     for (ri, router) in net.routers.iter().enumerate() {
         let coord = router.coord;
         for (ip, port) in router.inputs.iter().enumerate() {
@@ -502,12 +509,13 @@ fn check_escape_compliance(net: &Network, out: &mut Vec<Violation>) {
                     continue;
                 };
                 let own = net.cfg.partition.range_for(f.class.is_reply(), total);
+                let captured = captures && ip < PORT_LOCAL && iv == own.start as usize;
                 let constrained = ov == own.start || !own.contains(&ov);
-                if !constrained {
+                if !captured && !constrained {
                     continue;
                 }
-                let dor = dor_direction(coord, f.dst).map(|d| d.index());
-                if Some(op) != dor {
+                let escape = net.topo.escape_port(ri, net.topo.node_index(f.dst));
+                if Some(op) != escape || (captured && ov != own.start) {
                     out.push(Violation::EscapeVcViolation {
                         router: ri,
                         coord,
@@ -515,7 +523,7 @@ fn check_escape_compliance(net: &Network, out: &mut Vec<Violation>) {
                         vc: iv,
                         out_vc: ov,
                         out_port: op,
-                        dor_port: dor,
+                        escape_port: escape,
                         dst: f.dst,
                     });
                 }

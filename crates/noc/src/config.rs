@@ -6,6 +6,7 @@
 //! simulator implements — it is not configurable because none of the seven
 //! schemes varies it).
 
+use crate::topology::TopologyKind;
 use std::ops::Range;
 
 /// Routing algorithm for a network.
@@ -65,9 +66,12 @@ impl VcPartition {
 /// Full configuration of one physical network.
 #[derive(Debug, Clone, PartialEq)]
 pub struct NocConfig {
-    /// Mesh width in routers.
+    /// Fabric the routers are wired into (mesh unless a scheme opts into
+    /// one of the ring reply fabrics).
+    pub topology: TopologyKind,
+    /// Grid width in routers.
     pub width: u16,
-    /// Mesh height in routers.
+    /// Grid height in routers.
     pub height: u16,
     /// Virtual channels per port (Table 1: 2).
     pub vcs_per_port: u8,
@@ -131,6 +135,7 @@ impl NocConfig {
     /// The paper's default 8×8 reply-network configuration (Table 1).
     pub fn mesh_8x8() -> Self {
         NocConfig {
+            topology: TopologyKind::Mesh,
             width: 8,
             height: 8,
             vcs_per_port: 2,
@@ -160,6 +165,16 @@ impl NocConfig {
         }
     }
 
+    /// Square grid of the given size wired as `topology`, with otherwise
+    /// default parameters. `fabric(TopologyKind::Mesh, n)` equals
+    /// [`NocConfig::mesh`].
+    pub fn fabric(topology: TopologyKind, n: u16) -> Self {
+        NocConfig {
+            topology,
+            ..Self::mesh(n)
+        }
+    }
+
     /// Single-network configuration per Table 1: 2 VCs per port, one per
     /// message class (the class split is mandatory for protocol-deadlock
     /// freedom). With a single VC per class the escape discipline forces
@@ -181,7 +196,7 @@ impl NocConfig {
         }
     }
 
-    /// Number of routers in the mesh.
+    /// Number of routers in the grid.
     pub fn num_nodes(&self) -> usize {
         self.width as usize * self.height as usize
     }
@@ -191,11 +206,29 @@ impl NocConfig {
     /// # Errors
     ///
     /// Returns a description of the first violated constraint: zero
-    /// dimensions, zero VCs/buffers, or a class partition that exceeds
+    /// dimensions, dimensions the chosen topology cannot be built on,
+    /// zero VCs/buffers, or a class partition that exceeds
     /// `vcs_per_port` / overlaps / is empty.
     pub fn validate(&self) -> Result<(), String> {
         if self.width == 0 || self.height == 0 {
-            return Err("mesh dimensions must be nonzero".into());
+            return Err("grid dimensions must be nonzero".into());
+        }
+        match self.topology {
+            TopologyKind::Mesh => {}
+            TopologyKind::Ring => {
+                if self.num_nodes() < 2 {
+                    return Err("a ring topology needs at least two nodes".into());
+                }
+            }
+            TopologyKind::HierRing => {
+                if self.width < 2 || self.height < 2 {
+                    return Err(
+                        "a hierarchical ring needs width >= 2 and height >= 2 \
+                         (each row is a ring, bridged by a global ring)"
+                            .into(),
+                    );
+                }
+            }
         }
         if self.vcs_per_port == 0 {
             return Err("need at least one VC per port".into());
@@ -211,6 +244,13 @@ impl NocConfig {
         }
         if self.eject_cap == 0 {
             return Err("ejection queues need capacity".into());
+        }
+        if self.topology != TopologyKind::Mesh && self.partition.mono() {
+            return Err(
+                "VC monopolization (VC-Mono) is only supported on the mesh: a borrowed \
+                 foreign VC defeats the escape-capture discipline ring fabrics rely on"
+                    .into(),
+            );
         }
         if let VcPartition::ByClass { request, reply, .. } = &self.partition {
             if request.is_empty() || reply.is_empty() {
@@ -263,6 +303,24 @@ mod tests {
             mono: false,
         };
         assert!(c.validate().is_err(), "range beyond vcs_per_port");
+    }
+
+    #[test]
+    fn topology_dimension_constraints() {
+        assert!(NocConfig::fabric(TopologyKind::Ring, 4).validate().is_ok());
+        assert!(NocConfig::fabric(TopologyKind::HierRing, 4).validate().is_ok());
+
+        let mut c = NocConfig::fabric(TopologyKind::Ring, 1);
+        assert!(c.validate().is_err(), "one-node ring");
+        c.height = 2;
+        assert!(c.validate().is_ok(), "1x2 ring is a legal two-node ring");
+
+        let mut c = NocConfig::fabric(TopologyKind::HierRing, 4);
+        c.height = 1;
+        assert!(c.validate().is_err(), "hier ring needs height >= 2");
+        let mut c = NocConfig::fabric(TopologyKind::HierRing, 4);
+        c.width = 1;
+        assert!(c.validate().is_err(), "hier ring needs width >= 2");
     }
 
     #[test]

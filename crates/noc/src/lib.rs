@@ -72,6 +72,7 @@ pub mod network;
 pub mod router;
 pub mod routing;
 pub mod stats;
+pub mod topology;
 pub mod trace;
 
 pub use audit::{audit_from_env, AuditConfig, DeadlockReport, Violation};
@@ -80,4 +81,5 @@ pub use flit::{Flit, MessageClass, PacketDesc, PacketId};
 pub use link::LinkKind;
 pub use network::{InjectorId, Network};
 pub use stats::NetStats;
+pub use topology::{PortSet, TopoLink, Topology, TopologyKind};
 pub use trace::{Trace, TraceEvent, TraceKind};

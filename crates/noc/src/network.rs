@@ -20,10 +20,10 @@ use crate::config::NocConfig;
 use crate::flit::{Flit, MessageClass};
 use crate::link::{CreditDst, Link, LinkKind};
 use crate::router::{OutputRole, Router, PORT_LOCAL};
-use crate::routing::{candidate_set, dor_direction};
 use crate::stats::NetStats;
+use crate::topology::{Topology, TopologyKind};
 use crate::trace::{Trace, TraceEvent, TraceKind};
-use equinox_phys::{Coord, Direction};
+use equinox_phys::Coord;
 use std::collections::VecDeque;
 use std::ops::Range;
 
@@ -94,10 +94,14 @@ impl ActiveSet {
     }
 }
 
-/// A cycle-accurate mesh network.
+/// A cycle-accurate network over one of the registered
+/// [`crate::topology`] fabrics.
 #[derive(Debug)]
 pub struct Network {
     pub(crate) cfg: NocConfig,
+    /// The fabric description the network was built from: link graph,
+    /// productive-direction function, escape contract.
+    pub(crate) topo: Box<dyn Topology>,
     pub(crate) routers: Vec<Router>,
     pub(crate) links: Vec<Link>,
     pub(crate) injectors: Vec<Injector>,
@@ -137,27 +141,29 @@ pub struct Network {
 }
 
 impl Network {
-    /// Builds a standard mesh: every node gets a 5-port router (N, E, S,
-    /// W, local), neighbouring routers are linked both ways, and each node
-    /// gets one local injector and one ejection port tagged with the
-    /// node's row-major index.
+    /// Builds the network described by `cfg.topology`: every node gets a
+    /// uniform 5-port router (4 network ports + local; ports the fabric
+    /// does not wire stay dead), the fabric's link graph is wired both
+    /// ways, and each node gets one local injector and one ejection port
+    /// tagged with the node's row-major index.
     ///
     /// # Panics
     ///
     /// Panics if `cfg` fails [`NocConfig::validate`].
-    pub fn mesh(cfg: NocConfig) -> Self {
+    pub fn new(cfg: NocConfig) -> Self {
         if let Err(e) = cfg.validate() {
             panic!("invalid NoC config: {e}");
         }
-        let (w, h) = (cfg.width, cfg.height);
-        let n = cfg.num_nodes();
+        let topo = cfg.topology.build(cfg.width, cfg.height);
+        let n = topo.num_nodes();
         let depth = cfg.vc_buf_flits as u32;
         let routers: Vec<Router> = (0..n)
-            .map(|i| Router::new(Coord::from_index(i, w), 5, cfg.vcs_per_port, depth))
+            .map(|i| Router::new(topo.node_coord(i), 5, cfg.vcs_per_port, depth))
             .collect();
         let mut net = Network {
             eject: (0..n).map(|_| vec![VecDeque::new(); 5]).collect(),
             stats: NetStats::new(n),
+            topo,
             routers,
             links: Vec::new(),
             injectors: Vec::new(),
@@ -177,40 +183,41 @@ impl Network {
             credits_in_flight: 0,
             eject_occupancy: 0,
         };
-        // Mesh links.
-        for i in 0..n {
-            let c = Coord::from_index(i, w);
-            for dir in Direction::ALL {
-                if let Some(nb) = c.step(dir, w, h) {
-                    let j = nb.to_index(w);
-                    // Link from router i (output port dir) to router j
-                    // (input port opposite(dir)).
-                    let to_port = dir.opposite().index();
-                    let link_id = net.push_link(Link::new(
-                        LinkKind::Mesh,
-                        net.cfg.link_latency,
-                        j,
-                        to_port,
-                        CreditDst::RouterOutput {
-                            router: i,
-                            port: dir.index(),
-                        },
-                    ));
-                    net.routers[i].outputs[dir.index()].role = OutputRole::Link(link_id);
-                    net.routers[j].inputs[to_port].feed_link = Some(link_id);
-                }
-            }
+        // Network links, in the fabric's deterministic build order (link
+        // ids are observable through link-utilization grids, so the order
+        // is part of each fabric's contract).
+        for l in net.topo.links() {
+            let link_id = net.push_link(Link::new(
+                LinkKind::Mesh,
+                net.cfg.link_latency,
+                l.to,
+                l.to_port,
+                CreditDst::RouterOutput {
+                    router: l.from,
+                    port: l.from_port,
+                },
+            ));
+            net.routers[l.from].outputs[l.from_port].role = OutputRole::Link(link_id);
+            net.routers[l.to].inputs[l.to_port].feed_link = Some(link_id);
         }
         // Local ports: ejection with sink tag, plus one NI injector.
         for i in 0..n {
             net.routers[i].outputs[PORT_LOCAL].role = OutputRole::Eject {
                 sink: Some(i as u32),
             };
-            let c = Coord::from_index(i, w);
+            let c = net.topo.node_coord(i);
             let id = net.attach_injector(c, PORT_LOCAL, net.cfg.ni_latency, LinkKind::NiLocal);
             net.local_injectors.push(id);
         }
+        net.stats.shape = Some((net.cfg.topology, net.cfg.width, net.cfg.height));
         net
+    }
+
+    /// [`Network::new`] under its historical name. Kept because most of
+    /// the stack builds meshes and reads better saying so; the
+    /// constructor itself honours whatever `cfg.topology` requests.
+    pub fn mesh(cfg: NocConfig) -> Self {
+        Self::new(cfg)
     }
 
     /// Appends a link and grows the per-link worklists with it.
@@ -229,7 +236,7 @@ impl Network {
         latency: u32,
         kind: LinkKind,
     ) -> InjectorId {
-        let r = node.to_index(self.cfg.width);
+        let r = self.topo.node_index(node);
         let injector_idx = self.injectors.len();
         let link_id = self.push_link(Link::new(
             kind,
@@ -257,7 +264,7 @@ impl Network {
     /// MultiPort's extra CB ports and EquiNox's CB→EIR interposer links
     /// are modelled.
     pub fn add_injection_port(&mut self, node: Coord, latency: u32, kind: LinkKind) -> InjectorId {
-        let r = node.to_index(self.cfg.width);
+        let r = self.topo.node_index(node);
         let port = self.routers[r].add_port(self.cfg.vcs_per_port, self.cfg.vc_buf_flits as u32);
         self.eject[r].push(VecDeque::new());
         self.attach_injector(node, port, latency, kind)
@@ -267,7 +274,7 @@ impl Network {
     /// restricted to flits whose sink tag equals `sink` (or any flit if
     /// `None`). Returns `(router, port)` for use with [`Network::pop_ejected`].
     pub fn add_ejection_port(&mut self, node: Coord, sink: Option<u32>) -> (usize, usize) {
-        let r = node.to_index(self.cfg.width);
+        let r = self.topo.node_index(node);
         let port = self.routers[r].add_port(self.cfg.vcs_per_port, self.cfg.vc_buf_flits as u32);
         self.routers[r].outputs[port].role = OutputRole::Eject { sink };
         self.eject[r].push(VecDeque::new());
@@ -289,7 +296,7 @@ impl Network {
 
     /// The local (port-4) injector of `node`.
     pub fn local_injector(&self, node: Coord) -> InjectorId {
-        self.local_injectors[node.to_index(self.cfg.width)]
+        self.local_injectors[self.topo.node_index(node)]
     }
 
     /// Router index hosting this injector.
@@ -434,7 +441,7 @@ impl Network {
     /// Pops one ejected flit from any ejection port of the router at
     /// `node`.
     pub fn pop_ejected_node(&mut self, node: Coord) -> Option<Flit> {
-        let r = node.to_index(self.cfg.width);
+        let r = self.topo.node_index(node);
         for q in self.eject[r].iter_mut() {
             if let Some(f) = q.pop_front() {
                 self.eject_occupancy -= 1;
@@ -635,7 +642,15 @@ impl Network {
                 let grant = if head.dst == coord {
                     self.alloc_ejection(ri, head.sink, usable)
                 } else {
-                    self.alloc_direction(ri, coord, head.dst, escape, usable, foreign)
+                    // Escape capture (ring fabrics): a flit that arrived
+                    // over a network link on its class's escape VC must
+                    // stay on the escape path — port *and* VC — so no
+                    // adaptive detour can re-enter the escape layer and
+                    // create an indirect channel dependence.
+                    let captured = self.topo.captures_escape()
+                        && ip < PORT_LOCAL
+                        && iv == escape as usize;
+                    self.alloc_direction(ri, head.dst, escape, usable, foreign, captured)
                 };
                 if let Some((op, ov)) = grant {
                     let r = &mut self.routers[ri];
@@ -668,24 +683,39 @@ impl Network {
     }
 
     /// Finds a free output VC towards `dst`: adaptive VCs on the
-    /// credit-richest productive port first, then the escape VC on the
-    /// dimension-order port.
+    /// credit-richest candidate port first, then the escape VC on the
+    /// fabric's escape port. A `captured` flit (see
+    /// [`Topology::captures_escape`]) is restricted to the escape
+    /// port/VC pair outright.
     fn alloc_direction(
         &self,
         ri: usize,
-        coord: Coord,
         dst: Coord,
         escape: u8,
         usable: Range<u8>,
         foreign: Range<u8>,
+        captured: bool,
     ) -> Option<(usize, u8)> {
         let r = &self.routers[ri];
-        // At most two candidate ports on a mesh — keep them in a fixed
-        // pair instead of a sorted Vec.
+        let di = self.topo.node_index(dst);
+        let escape_port = self.topo.escape_port(ri, di);
+        if captured {
+            let p = escape_port.expect("captured flit routed at its destination");
+            let ovc = &r.outputs[p].vcs[escape as usize];
+            if matches!(r.outputs[p].role, OutputRole::Link(_))
+                && ovc.owner.is_none()
+                && ovc.credits > 0
+            {
+                return Some((p, escape));
+            }
+            return None;
+        }
+        // At most two candidate ports on any fabric — keep them in a
+        // fixed pair instead of a sorted Vec.
         let mut ports = [usize::MAX; 2];
         let mut n_ports = 0usize;
-        for &d in candidate_set(self.cfg.routing, coord, dst).as_slice() {
-            let p = d.index();
+        for &p in self.topo.route(self.cfg.routing, ri, di).as_slice() {
+            let p = p as usize;
             if matches!(r.outputs[p].role, OutputRole::Link(_)) {
                 ports[n_ports] = p;
                 n_ports += 1;
@@ -704,12 +734,11 @@ impl Network {
                 ports.swap(0, 1);
             }
         }
-        let dor_port = dor_direction(coord, dst).map(|d| d.index());
         for &p in &ports[..n_ports] {
             for v in usable.clone() {
                 let is_escape = v == escape;
-                if is_escape && Some(p) != dor_port {
-                    continue; // escape VC only along the XY path
+                if is_escape && Some(p) != escape_port {
+                    continue; // escape VC only along the escape path
                 }
                 let ovc = &r.outputs[p].vcs[v as usize];
                 if ovc.owner.is_none() && ovc.credits > 0 {
@@ -718,11 +747,12 @@ impl Network {
             }
             // Monopolized (foreign-class) VCs are borrowed only when the
             // downstream buffer is completely idle AND only along the
-            // dimension-order port: all traffic in a borrowed VC then
-            // follows XY, keeping that VC layer's channel-dependence graph
-            // acyclic (borrowing as extra *adaptive* channels was observed
-            // to wedge wormhole cycles under saturation).
-            if Some(p) == dor_port {
+            // escape port: all traffic in a borrowed VC then follows the
+            // escape discipline, keeping that VC layer's
+            // channel-dependence graph acyclic (borrowing as extra
+            // *adaptive* channels was observed to wedge wormhole cycles
+            // under saturation).
+            if Some(p) == escape_port {
                 for v in foreign.clone() {
                     let ovc = &r.outputs[p].vcs[v as usize];
                     if ovc.owner.is_none() && ovc.credits as usize == self.cfg.vc_buf_flits {
@@ -1007,7 +1037,7 @@ impl Network {
     /// tests.
     #[doc(hidden)]
     pub fn fault_leak_credit(&mut self, node: Coord, vc: u8) -> bool {
-        let r = node.to_index(self.cfg.width);
+        let r = self.topo.node_index(node);
         for out in &mut self.routers[r].outputs {
             if matches!(out.role, OutputRole::Link(_)) && out.vcs[vc as usize].credits > 0 {
                 out.vcs[vc as usize].credits -= 1;
@@ -1023,7 +1053,7 @@ impl Network {
     /// both flit and credit conservation — never call outside tests.
     #[doc(hidden)]
     pub fn fault_drop_flit(&mut self, node: Coord) -> bool {
-        let r = node.to_index(self.cfg.width);
+        let r = self.topo.node_index(node);
         for port in &mut self.routers[r].inputs {
             for vc in &mut port.vcs {
                 if vc.buf.pop_front().is_some() {
@@ -1082,12 +1112,17 @@ impl Network {
         &self.cfg
     }
 
-    /// Mesh width in routers.
+    /// The fabric this network was built from.
+    pub fn topology(&self) -> &dyn Topology {
+        self.topo.as_ref()
+    }
+
+    /// Grid width in routers.
     pub fn width(&self) -> u16 {
         self.cfg.width
     }
 
-    /// Mesh height in routers.
+    /// Grid height in routers.
     pub fn height(&self) -> u16 {
         self.cfg.height
     }
@@ -1104,7 +1139,7 @@ impl Network {
 
     /// Number of ports on the router at `node` (for area accounting).
     pub fn router_ports(&self, node: Coord) -> usize {
-        self.routers[node.to_index(self.cfg.width)].num_ports()
+        self.routers[self.topo.node_index(node)].num_ports()
     }
 
     /// Enables flit-event tracing with the given ring capacity
@@ -1135,6 +1170,11 @@ impl Network {
     /// equals the retention predicates the gated sweep itself uses).
     pub fn snapshot_state(&self, e: &mut equinox_snap::Enc) {
         use equinox_snap::Snap;
+        // Shape tag: restoring into a different fabric would scramble
+        // link/port meanings silently, so the target validates it first.
+        e.put_u8(self.topo.kind().tag());
+        e.put_u16(self.cfg.width);
+        e.put_u16(self.cfg.height);
         e.put_u64(self.cycle);
         self.stats.snap(e);
         e.put_usize(self.routers.len());
@@ -1180,12 +1220,21 @@ impl Network {
     ) -> Result<(), equinox_snap::SnapError> {
         use equinox_snap::{Snap, SnapError};
         let depth = self.cfg.vc_buf_flits as u32;
+        let kind = TopologyKind::from_tag(d.u8()?);
+        if kind != Some(self.topo.kind()) {
+            return Err(SnapError::BadValue("snapshot topology kind"));
+        }
+        if (d.u16()?, d.u16()?) != (self.cfg.width, self.cfg.height) {
+            return Err(SnapError::BadValue("snapshot grid dimensions"));
+        }
         self.cycle = d.u64()?;
         let stats = NetStats::restore(d)?;
         if stats.router_flits.len() != self.routers.len() {
             return Err(SnapError::BadValue("stats router count"));
         }
         self.stats = stats;
+        // The shape stamp is build-derived, not serialized: re-stamp.
+        self.stats.shape = Some((self.cfg.topology, self.cfg.width, self.cfg.height));
         if d.usize()? != self.routers.len() {
             return Err(SnapError::BadValue("router count"));
         }

@@ -37,8 +37,11 @@ pub fn dor_direction(cur: Coord, dst: Coord) -> Option<Direction> {
     }
 }
 
-/// Up to two directions, inline (a mesh has at most two productive
-/// directions), so per-flit route computation never touches the heap.
+/// Up to two directions, inline, so per-flit route computation never
+/// touches the heap. Two slots suffice for every registered fabric — a
+/// mesh has at most two productive directions, and the ring fabrics
+/// offer at most a minimal and an escape port per hop (the port-index
+/// analogue is [`crate::topology::PortSet`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DirSet {
     dirs: [Direction; 2],

@@ -11,10 +11,18 @@
 //!   spends in each router).
 
 use crate::link::LinkKind;
+use crate::topology::TopologyKind;
 
 /// Aggregate event counters for one physical network.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct NetStats {
+    /// Shape of the network the counters came from, as
+    /// `(topology, width, height)`. Build-derived (stamped by the network
+    /// constructor, `None` for hand-built stats): it is neither
+    /// serialized in snapshots nor emitted in artifacts, but
+    /// [`NetStats::merge`] uses it to reject mixing counters from
+    /// different fabrics, not just different router counts.
+    pub shape: Option<(TopologyKind, u16, u16)>,
     /// Simulated cycles (of this network's clock).
     pub cycles: u64,
     /// Flits written into input-VC buffers.
@@ -59,6 +67,8 @@ impl equinox_snap::Snap for NetStats {
     }
     fn restore(d: &mut equinox_snap::Dec) -> Result<Self, equinox_snap::SnapError> {
         let s = NetStats {
+            // Build-derived; the restoring network re-stamps its own.
+            shape: None,
             cycles: d.u64()?,
             buffer_writes: d.u64()?,
             buffer_reads: d.u64()?,
@@ -137,10 +147,19 @@ impl NetStats {
     ///
     /// # Panics
     ///
-    /// Panics on a router count mismatch: merging stats from differently
-    /// sized networks would silently drop the per-router accumulators and
-    /// corrupt the Figure 4 heat maps, so it is rejected loudly instead.
+    /// Panics on a topology-shape or router count mismatch: merging stats
+    /// from differently shaped networks would silently drop the
+    /// per-router accumulators and corrupt the Figure 4 heat maps, so it
+    /// is rejected loudly instead. The shape check only fires when both
+    /// sides carry a stamp (hand-built stats have none).
     pub fn merge(&mut self, other: &NetStats) {
+        if let (Some(a), Some(b)) = (self.shape, other.shape) {
+            assert_eq!(
+                a, b,
+                "topology shape mismatch in NetStats::merge: per-router counters \
+                 only merge between networks of the same fabric and dimensions"
+            );
+        }
         self.cycles = self.cycles.max(other.cycles);
         self.buffer_writes += other.buffer_writes;
         self.buffer_reads += other.buffer_reads;
@@ -220,6 +239,26 @@ mod tests {
         let mut a = NetStats::new(2);
         let b = NetStats::new(3);
         a.merge(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "topology shape mismatch")]
+    fn merge_rejects_mismatched_topologies() {
+        // Same router count, different fabric: the shape stamp catches
+        // what the router-count check cannot.
+        let mut a = NetStats::new(16);
+        a.shape = Some((TopologyKind::Mesh, 4, 4));
+        let mut b = NetStats::new(16);
+        b.shape = Some((TopologyKind::Ring, 4, 4));
+        a.merge(&b);
+    }
+
+    #[test]
+    fn merge_allows_unstamped_stats() {
+        let mut a = NetStats::new(2);
+        a.shape = Some((TopologyKind::Mesh, 2, 1));
+        let b = NetStats::new(2);
+        a.merge(&b); // other side unstamped: only the count check applies
     }
 
     #[test]

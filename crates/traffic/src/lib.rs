@@ -14,14 +14,18 @@
 //!   bursty, spatially-local address generation. PEs communicate only with
 //!   cache banks — the Many-to-Few-to-Many pattern (§2.1).
 //! * [`workload`] — helpers to instantiate a PE array for a benchmark.
+//! * [`synthetic`] — classical adversarial patterns (uniform, hotspot,
+//!   transpose, bursty on/off) for fabric stress testing.
 //!
 //! The *system* wiring (NIs, cache banks, HBM) lives in `equinox-core`;
 //! this crate deliberately knows nothing about networks.
 
 pub mod pe;
 pub mod profile;
+pub mod synthetic;
 pub mod workload;
 
 pub use pe::{MemOp, Pe};
 pub use profile::{BenchmarkProfile, all_benchmarks, benchmark};
+pub use synthetic::SyntheticPattern;
 pub use workload::Workload;

@@ -203,6 +203,47 @@ fn artifact_is_sim_thread_count_independent() {
 }
 
 #[test]
+fn ring_reply_fabric_artifact_is_sim_thread_count_independent() {
+    // The sim-thread contract extends to the generalized topologies: a
+    // SeparateBase run whose reply subnet is a ring produces the same
+    // full artifact (metrics + NetStats + obs/v1) for any lane count.
+    use equinox_suite::bench::artifact::{artifact, net_stats_json, run_metrics_json};
+    use equinox_suite::config::spec::field_by_flag;
+    use equinox_suite::config::{ExperimentSpec, Json, Layer};
+    let mut spec = ExperimentSpec::default();
+    spec.set_str(field_by_flag("--topology").unwrap(), "ring", Layer::Cli)
+        .unwrap();
+    let snapshot = |sim_threads: usize| {
+        let workload = Workload::new(benchmark("bfs").unwrap(), 0.05, 7);
+        let mut cfg = SystemConfig::from_spec(SchemeKind::SeparateBase, 8, workload, &spec);
+        assert_eq!(
+            cfg.reply_topology,
+            equinox_suite::noc::TopologyKind::Ring,
+            "apply_spec must thread the topology through"
+        );
+        cfg.obs = Some(equinox_suite::core::ObsConfig {
+            interval: 500,
+            ..Default::default()
+        });
+        cfg.sim_threads = sim_threads;
+        let mut sys = System::build(cfg);
+        let m = sys.run();
+        assert!(m.completed, "ring reply fabric must finish the workload");
+        let nets: Vec<Json> = sys.networks().iter().map(|n| net_stats_json(n.stats())).collect();
+        let results = Json::obj()
+            .with("metrics", run_metrics_json(&m))
+            .with("net_stats", nets)
+            .with("obs", sys.obs_json().expect("obs armed"));
+        artifact("determinism", &spec, results).pretty()
+    };
+    let serial = snapshot(1);
+    for k in [2usize, 8] {
+        let par = snapshot(k);
+        assert_eq!(serial, par, "ring artifact diverged at {k} sim-threads");
+    }
+}
+
+#[test]
 fn sim_threads_spec_field_reaches_the_system() {
     use equinox_suite::config::spec::field_by_flag;
     use equinox_suite::config::{ExperimentSpec, Layer};
