@@ -30,6 +30,7 @@ use std::sync::OnceLock;
 pub mod artifact;
 pub mod cache;
 pub mod scenarios;
+pub mod watch;
 
 /// Iterations used for the "strong" (publication-quality) design search.
 pub const STRONG_ITERS: usize = 4_000;

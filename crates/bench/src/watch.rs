@@ -1,0 +1,384 @@
+//! The `equinox watch` client: attaches to a telemetry stream produced
+//! by a run's `--obs-stream` flag and renders a live dashboard.
+//!
+//! Framing is one JSON object per `\n`-terminated line (`obs.sample/v1`
+//! frames during the run, one terminal `obs.summary/v1`). The client is
+//! deliberately forgiving: a line that fails to parse — clipped
+//! mid-write by a dying producer, or plain garbage — is counted and
+//! skipped, never fatal, so a watcher can attach to a stream that is
+//! still being written (or that survived a crash) and keep rendering.
+//!
+//! Transport duality mirrors the writer: for `tcp:host:port` targets
+//! the *watcher* is the server — it binds, listens and accepts the one
+//! connection the simulation's stream writer opens. Start `equinox
+//! watch` first, then the instrumented run. For file targets the
+//! watcher tails the file, following appends until the terminal
+//! summary frame or a few seconds of quiet after end-of-file.
+
+use equinox_config::Json;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpListener;
+use std::time::{Duration, Instant};
+
+/// How often the dashboard re-renders, in sample frames.
+const DASH_EVERY: u64 = 10;
+/// File tailing gives up after this much quiet at end-of-file.
+const FILE_IDLE: Duration = Duration::from_secs(3);
+/// TCP accept/read deadlines (generous: the producer may still be
+/// building its design before it connects).
+const TCP_WAIT: Duration = Duration::from_secs(60);
+
+/// Everything the client learned from one stream.
+#[derive(Debug, Default)]
+pub struct WatchStats {
+    /// Frames that parsed and carried a known schema.
+    pub frames: u64,
+    /// The `obs.sample/v1` subset of `frames`.
+    pub samples: u64,
+    /// Lines that failed to parse or carried no known schema.
+    pub corrupt: u64,
+    /// Highest cycle stamp seen on any frame.
+    pub last_cycle: u64,
+    /// The terminal frame, when one arrived.
+    pub summary: Option<Json>,
+}
+
+impl WatchStats {
+    /// The scenario's structured result block.
+    pub fn to_json(&self) -> Json {
+        let mut j = Json::obj()
+            .with("frames_seen", self.frames as f64)
+            .with("sample_frames", self.samples as f64)
+            .with("corrupt_lines", self.corrupt as f64)
+            .with("last_cycle", self.last_cycle as f64)
+            .with("summary_seen", self.summary.is_some());
+        if let Some(s) = &self.summary {
+            j = j.with("summary", s.clone());
+        }
+        j
+    }
+}
+
+/// Consumes one stream line: classifies it, folds it into `stats`, and
+/// renders to `log` on the dashboard cadence. Returns `true` when the
+/// line was the terminal summary frame (the caller's stop signal).
+fn consume_line(line: &str, stats: &mut WatchStats, log: &mut dyn Write) -> bool {
+    let trimmed = line.trim_end_matches(['\n', '\r']);
+    if trimmed.is_empty() {
+        return false;
+    }
+    let Ok(frame) = equinox_config::parse_json(trimmed) else {
+        stats.corrupt += 1;
+        return false;
+    };
+    match frame.get("schema").and_then(|s| s.as_str()) {
+        Some("obs.sample/v1") => {
+            stats.frames += 1;
+            stats.samples += 1;
+            if let Some(c) = frame.get("cycle").and_then(|v| v.as_u64()) {
+                stats.last_cycle = stats.last_cycle.max(c);
+            }
+            if stats.samples % DASH_EVERY == 1 {
+                let _ = writeln!(log, "{}", dashboard(&frame));
+            }
+            false
+        }
+        Some("obs.summary/v1") => {
+            stats.frames += 1;
+            if let Some(c) = frame.get("cycle").and_then(|v| v.as_u64()) {
+                stats.last_cycle = stats.last_cycle.max(c);
+            }
+            let _ = writeln!(log, "{}", summary_table(&frame));
+            stats.summary = Some(frame);
+            true
+        }
+        _ => {
+            stats.corrupt += 1;
+            false
+        }
+    }
+}
+
+/// One dashboard row from a sample frame: cycle, throughput, packets in
+/// flight, and each stall cause's share of the total stalled cycles.
+fn dashboard(frame: &Json) -> String {
+    let num = |k: &str| frame.get(k).and_then(|v| v.as_f64()).unwrap_or(0.0);
+    let mut row = format!(
+        "cycle {:>9} | {:6.2} flits/cyc | {:>5} in flight",
+        num("cycle") as u64,
+        num("throughput_flits_per_cycle"),
+        num("packets_in_flight") as u64,
+    );
+    if let Some(stall) = frame.get("stall") {
+        let causes = ["inj_queue", "vc_alloc", "switch_loss", "credit_starve", "eject_wait"];
+        let total: f64 = causes
+            .iter()
+            .filter_map(|&c| stall.get(c).and_then(|v| v.as_f64()))
+            .sum();
+        row.push_str(" | stall");
+        for c in causes {
+            let v = stall.get(c).and_then(|v| v.as_f64()).unwrap_or(0.0);
+            let share = if total > 0.0 { 100.0 * v / total } else { 0.0 };
+            row.push_str(&format!(" {c} {share:4.1}%"));
+        }
+    }
+    row
+}
+
+/// The terminal latency-breakdown table from a summary frame.
+fn summary_table(frame: &Json) -> String {
+    let mut out = String::from("=== run summary ===\n");
+    let causes = [
+        "inj_queue",
+        "vc_alloc",
+        "switch_loss",
+        "credit_starve",
+        "serialization",
+        "eject_wait",
+    ];
+    for class in ["request", "reply"] {
+        let Some(row) = frame.get("per_class").and_then(|p| p.get(class)) else {
+            continue;
+        };
+        let num = |k: &str| row.get(k).and_then(|v| v.as_f64()).unwrap_or(0.0);
+        let (delivered, e2e) = (num("delivered"), num("e2e_cycles"));
+        let avg = if delivered > 0.0 { e2e / delivered } else { 0.0 };
+        out.push_str(&format!(
+            "{class:>8}: {} delivered, {avg:.1} avg cycles —",
+            delivered as u64
+        ));
+        for c in causes {
+            let share = if e2e > 0.0 { 100.0 * num(c) / e2e } else { 0.0 };
+            out.push_str(&format!(" {c} {share:4.1}%"));
+        }
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "delivered: {} requests, {} replies (cycle {})",
+        frame.get("req_delivered").and_then(|v| v.as_u64()).unwrap_or(0),
+        frame.get("rep_delivered").and_then(|v| v.as_u64()).unwrap_or(0),
+        frame.get("cycle").and_then(|v| v.as_u64()).unwrap_or(0),
+    ));
+    out
+}
+
+/// Drains a finite reader (a recorded stream, a test fixture): every
+/// line is consumed, stopping early only at the summary frame.
+pub fn watch_reader(r: impl BufRead, log: &mut dyn Write) -> WatchStats {
+    let mut stats = WatchStats::default();
+    for line in r.lines() {
+        let Ok(line) = line else { break };
+        if consume_line(&line, &mut stats, log) {
+            break;
+        }
+    }
+    stats
+}
+
+/// Tails a stream file, following appends. Stops at the summary frame
+/// or after [`FILE_IDLE`] of quiet at end-of-file, so it works both
+/// live (attached before or during the producing run) and post-hoc on
+/// a fully recorded stream.
+pub fn watch_file(path: &str, log: &mut dyn Write) -> std::io::Result<WatchStats> {
+    let mut r = BufReader::new(std::fs::File::open(path)?);
+    let mut stats = WatchStats::default();
+    let mut buf = String::new();
+    let mut quiet_since = Instant::now();
+    loop {
+        buf.clear();
+        // Accumulate one full line. A producer mid-write can expose a
+        // fragment without its newline; keep appending until the
+        // terminator lands or the producer goes quiet for good.
+        loop {
+            let n = r.read_line(&mut buf)?;
+            if buf.ends_with('\n') {
+                break;
+            }
+            if n == 0 {
+                if quiet_since.elapsed() > FILE_IDLE {
+                    // Stream over (producer finished, or died mid-line:
+                    // the fragment then counts as one corrupt line).
+                    if !buf.is_empty() {
+                        let _ = consume_line(&buf, &mut stats, log);
+                    }
+                    return Ok(stats);
+                }
+                std::thread::sleep(Duration::from_millis(50));
+            } else {
+                quiet_since = Instant::now();
+            }
+        }
+        quiet_since = Instant::now();
+        if consume_line(&buf, &mut stats, log) {
+            break;
+        }
+    }
+    Ok(stats)
+}
+
+/// Serves one `tcp:host:port` stream: binds the address, accepts the
+/// single connection the producing run opens, and drains it. The watch
+/// side is the listener by design — the simulation connects out, so a
+/// missing watcher fails the run fast instead of blocking it.
+pub fn watch_tcp(addr: &str, log: &mut dyn Write) -> std::io::Result<WatchStats> {
+    let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
+    let deadline = Instant::now() + TCP_WAIT;
+    let stream = loop {
+        match listener.accept() {
+            Ok((s, _)) => break s,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                if Instant::now() > deadline {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::TimedOut,
+                        "no producer connected",
+                    ));
+                }
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            Err(e) => return Err(e),
+        }
+    };
+    stream.set_nonblocking(false)?;
+    stream.set_read_timeout(Some(TCP_WAIT))?;
+    let _ = writeln!(log, "producer connected from {:?}", stream.peer_addr());
+    Ok(watch_reader(BufReader::new(stream), log))
+}
+
+/// Dispatches on the target syntax shared with the writer: a `tcp:`
+/// prefix listens, anything else tails a file.
+pub fn watch(target: &str, log: &mut dyn Write) -> std::io::Result<WatchStats> {
+    match target.strip_prefix("tcp:") {
+        Some(addr) => watch_tcp(addr, log),
+        None => watch_file(target, log),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn sample(cycle: u64) -> String {
+        Json::obj()
+            .with("schema", "obs.sample/v1")
+            .with("cycle", cycle as f64)
+            .with("throughput_flits_per_cycle", 1.5)
+            .with("packets_in_flight", 7.0)
+            .with(
+                "stall",
+                Json::obj().with("inj_queue", 30.0).with("vc_alloc", 10.0),
+            )
+            .to_compact()
+    }
+
+    fn summary(cycle: u64) -> String {
+        Json::obj()
+            .with("schema", "obs.summary/v1")
+            .with("cycle", cycle as f64)
+            .with("req_delivered", 100.0)
+            .with("rep_delivered", 100.0)
+            .with(
+                "per_class",
+                Json::obj().with(
+                    "request",
+                    Json::obj()
+                        .with("delivered", 100.0)
+                        .with("e2e_cycles", 5000.0)
+                        .with("inj_queue", 1000.0)
+                        .with("serialization", 4000.0),
+                ),
+            )
+            .to_compact()
+    }
+
+    #[test]
+    fn clean_stream_is_fully_accounted() {
+        let text = format!("{}\n{}\n{}\n", sample(100), sample(200), summary(250));
+        let mut log = Vec::new();
+        let s = watch_reader(Cursor::new(text), &mut log);
+        assert_eq!((s.frames, s.samples, s.corrupt), (3, 2, 0));
+        assert_eq!(s.last_cycle, 250);
+        assert!(s.summary.is_some());
+        let rendered = String::from_utf8(log).unwrap();
+        assert!(rendered.contains("run summary"));
+        assert!(rendered.contains("inj_queue 20.0%"), "breakdown shares rendered:\n{rendered}");
+    }
+
+    #[test]
+    fn corrupt_and_truncated_lines_are_skipped_not_fatal() {
+        // Garbage, a clipped frame, an unknown schema, and an empty
+        // line, interleaved with good frames — the good ones all land.
+        let good = sample(100);
+        let clipped = &good[..good.len() / 2];
+        let text = format!(
+            "not json at all\n{clipped}\n{}\n\n{{\"schema\":\"other/v9\"}}\n{}\n",
+            sample(300),
+            summary(400)
+        );
+        let mut log = Vec::new();
+        let s = watch_reader(Cursor::new(text), &mut log);
+        assert_eq!((s.frames, s.samples), (2, 1));
+        assert_eq!(s.corrupt, 3, "garbage + clipped + unknown schema");
+        assert_eq!(s.last_cycle, 400);
+        assert!(s.summary.is_some());
+    }
+
+    #[test]
+    fn stream_stops_at_summary_even_with_trailing_data() {
+        let text = format!("{}\n{}\n{}\n", sample(1), summary(2), sample(99));
+        let s = watch_reader(Cursor::new(text), &mut Vec::new());
+        assert_eq!(s.frames, 2, "nothing consumed past the summary");
+        assert_eq!(s.last_cycle, 2);
+    }
+
+    #[test]
+    fn tcp_watch_accepts_one_producer_and_drains_it() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        drop(listener); // free the probed port for watch_tcp
+        let addr_s = addr.to_string();
+        let payload = format!("{}\n{}\n", sample(10), summary(20));
+        let producer = std::thread::spawn(move || {
+            // Retry until the watcher's listener is up.
+            let deadline = Instant::now() + Duration::from_secs(10);
+            loop {
+                match std::net::TcpStream::connect(&addr_s) {
+                    Ok(mut s) => {
+                        s.write_all(payload.as_bytes()).unwrap();
+                        break;
+                    }
+                    Err(_) if Instant::now() < deadline => {
+                        std::thread::sleep(Duration::from_millis(20))
+                    }
+                    Err(e) => panic!("producer never connected: {e}"),
+                }
+            }
+        });
+        let mut log = Vec::new();
+        let s = watch_tcp(&addr.to_string(), &mut log).unwrap();
+        producer.join().unwrap();
+        assert_eq!((s.frames, s.samples, s.corrupt), (2, 1, 0));
+        assert!(s.summary.is_some());
+    }
+
+    #[test]
+    fn file_watch_follows_appends_to_the_summary() {
+        let dir = std::env::temp_dir().join(format!("eqw_tail_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("stream.jsonl");
+        std::fs::write(&path, format!("{}\n", sample(5))).unwrap();
+        let p = path.clone();
+        let writer = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(150));
+            let mut f = std::fs::OpenOptions::new().append(true).open(&p).unwrap();
+            writeln!(f, "{}", summary(9)).unwrap();
+        });
+        let mut log = Vec::new();
+        let s = watch_file(path.to_str().unwrap(), &mut log).unwrap();
+        writer.join().unwrap();
+        assert_eq!(s.frames, 2, "caught the appended summary");
+        assert!(s.summary.is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -49,6 +49,7 @@ fn malformed_values_and_unknown_flags_are_fatal() {
         (vec!["table1", "--seeds", "1,x"], "--seeds"),
         (vec!["fabric", "--topology", "torus"], "--topology"),
         (vec!["fabric", "--traffic", "tornado"], "--traffic"),
+        (vec!["observe", "--obs-interval", "0"], "--obs-interval"),
     ] {
         let out = driver().args(&args).output().expect("run driver");
         assert!(!out.status.success(), "{args:?} must exit nonzero");
@@ -152,6 +153,30 @@ fn observe_scenario_emits_obs_block_and_chrome_trace() {
     // EquiNox arms EIR load series, one per CB group.
     assert!(series.get("eir_load_cb0").is_some(), "EIR load series present");
 
+    // The obs/v2 block rides along: stall taxonomy, per-class latency
+    // breakdown summing to the measured end-to-end latency, heat grids.
+    let v2 = results.get("obs_v2").expect("obs_v2 block");
+    assert_eq!(v2.get("schema").and_then(Json::as_str), Some("equinox.obs/v2"));
+    let causes = v2.get("causes").and_then(Json::as_arr).expect("cause list");
+    assert_eq!(causes.len(), 6, "six named stall causes");
+    for class in ["request", "reply"] {
+        let row = v2.get("per_class").and_then(|p| p.get(class)).expect("class row");
+        let get = |k: &str| row.get(k).and_then(Json::as_u64).unwrap_or_else(|| panic!("{class}.{k}"));
+        let sum: u64 = ["inj_queue", "vc_alloc", "switch_loss", "credit_starve", "eject_wait", "serialization"]
+            .iter()
+            .map(|&c| get(c))
+            .sum();
+        assert_eq!(sum, get("e2e_cycles"), "{class}: causes reconstruct e2e");
+    }
+    let stall_heat = v2.get("stall_heat").and_then(Json::as_arr).expect("stall heat grids");
+    assert_eq!(stall_heat.len(), 2 * 4, "2 nets x 4 in-network causes");
+    for hm in stall_heat {
+        let w = hm.get("width").and_then(Json::as_u64).expect("width");
+        let h = hm.get("height").and_then(Json::as_u64).expect("height");
+        let grid = hm.get("heat").and_then(Json::as_arr).expect("grid");
+        assert_eq!(grid.len() as u64, w * h, "row-major width x height grid");
+    }
+
     // The trace file is valid Chrome trace-event JSON with both span
     // (complete) and flit (instant) events.
     let doc = std::fs::read_to_string(&trace_path).expect("trace file written");
@@ -164,6 +189,63 @@ fn observe_scenario_emits_obs_block_and_chrome_trace() {
     assert!(phases.contains(&"X"), "wall-clock span events present");
     assert!(phases.contains(&"i"), "flit instant events present");
     assert!(phases.contains(&"M"), "process/thread metadata present");
+}
+
+#[test]
+fn stream_records_and_watch_replays_end_to_end() {
+    // Record: an instrumented run streams line-JSON frames to a file.
+    let dir = std::env::temp_dir().join("equinox_driver_stream_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let stream_path = dir.join("stream.jsonl");
+    let _ = std::fs::remove_file(&stream_path);
+    let out = driver()
+        .args(["observe", "--scale", "0.05", "--obs-interval", "500", "--obs-stream"])
+        .arg(&stream_path)
+        .output()
+        .expect("run driver");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+
+    // Framing contract: every line is one standalone JSON object, with
+    // sample frames during the run and exactly one terminal summary.
+    let doc = std::fs::read_to_string(&stream_path).expect("stream file written");
+    let (mut samples, mut summaries) = (0, 0);
+    for line in doc.lines() {
+        let frame = parse_json(line).unwrap_or_else(|e| panic!("frame not standalone JSON: {e}\n{line}"));
+        match frame.get("schema").and_then(Json::as_str) {
+            Some("obs.sample/v1") => samples += 1,
+            Some("obs.summary/v1") => summaries += 1,
+            other => panic!("unknown frame schema {other:?}"),
+        }
+        assert!(frame.get("cycle").and_then(Json::as_u64).is_some(), "cycle stamp");
+    }
+    assert!(samples > 0, "run long enough to emit samples");
+    assert_eq!(summaries, 1, "exactly one terminal summary frame");
+
+    // Replay: `equinox watch` attaches to the recorded stream and
+    // accounts for every frame with no corruption.
+    let out = driver()
+        .args(["watch", "--obs-stream"])
+        .arg(&stream_path)
+        .output()
+        .expect("run driver");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let artifact = parse_json(&String::from_utf8(out.stdout).unwrap()).expect("stdout is JSON");
+    assert_eq!(artifact.get("scenario").and_then(Json::as_str), Some("watch"));
+    let results = artifact.get("results").expect("results block");
+    assert_eq!(
+        results.get("frames_seen").and_then(Json::as_u64),
+        Some(samples + summaries),
+        "watch accounts for every recorded frame"
+    );
+    assert_eq!(results.get("corrupt_lines").and_then(Json::as_u64), Some(0));
+    assert_eq!(results.get("summary_seen").and_then(Json::as_bool), Some(true));
+    // The dashboard rendered to stderr.
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("run summary"), "dashboard on stderr: {err}");
+
+    // A watcher with no stream target dies loudly.
+    let out = driver().arg("watch").output().expect("run driver");
+    assert!(!out.status.success(), "watch without --obs-stream must fail");
 }
 
 #[test]

@@ -110,8 +110,14 @@ pub struct ExperimentSpec {
     /// Arm the observability layer (metrics registry + time series +
     /// span profiler) on every full-system run built from this spec.
     pub obs: bool,
-    /// Cycles between observability time-series samples.
+    /// Cycles between observability time-series samples (must be > 0;
+    /// rejected at spec resolution otherwise).
     pub obs_interval: u64,
+    /// Live-telemetry sink: a file path or `tcp:host:port`. One
+    /// `obs.sample/v1` line-JSON frame per sampling interval plus a
+    /// terminal `obs.summary/v1` frame. Setting this arms the
+    /// observability layer even without `--obs`. Empty = off.
+    pub obs_stream: String,
     /// Record per-flit NoC trace events (Inject/Hop/Eject).
     pub trace: bool,
     /// Path for the Chrome trace-event JSON export (empty = don't
@@ -155,6 +161,7 @@ impl Default for ExperimentSpec {
             iters: 4_000,
             obs: false,
             obs_interval: 1_000,
+            obs_stream: String::new(),
             trace: false,
             trace_out: String::new(),
             trace_capacity: 65_536,
@@ -493,7 +500,53 @@ pub fn fields() -> &'static [FieldDef] {
         field!(uint "cycles", "--cycles", "EQUINOX_CYCLES", cycles: u64, "measured cycles per load-latency point"),
         field!(uint "iters", "--iters", "EQUINOX_ITERS", iters: usize, "MCTS iterations for spec-driven design searches"),
         field!(flag "obs", "--obs", "EQUINOX_OBS", obs, "arm the observability layer (metrics + time series)"),
-        field!(uint "obs_interval", "--obs-interval", "EQUINOX_OBS_INTERVAL", obs_interval: u64, "cycles between observability samples"),
+        // Custom instead of `field!(uint ...)`: an interval of 0 would
+        // mean "sample every cycle of nothing" — degenerate sampling
+        // that silently records one row per cycle forever. Rejected at
+        // spec-resolution time on every layer (CLI, env, file).
+        FieldDef {
+            name: "obs_interval",
+            flag: "--obs-interval",
+            env: "EQUINOX_OBS_INTERVAL",
+            takes_value: true,
+            help: "cycles between observability samples (> 0)",
+            set_str: |s, v| {
+                let n = parse_num::<u64>("a positive integer", v)?;
+                if n == 0 {
+                    return Err("must be > 0 (an interval of 0 cannot sample)".into());
+                }
+                s.obs_interval = n;
+                Ok(())
+            },
+            set_json: |s, v| {
+                let n = json_u64(v)?;
+                if n == 0 {
+                    return Err("must be > 0 (an interval of 0 cannot sample)".into());
+                }
+                s.obs_interval = n;
+                Ok(())
+            },
+            get_json: |s| Json::Num(s.obs_interval as f64),
+        },
+        FieldDef {
+            name: "obs_stream",
+            flag: "--obs-stream",
+            env: "EQUINOX_OBS_STREAM",
+            takes_value: true,
+            help: "stream line-JSON telemetry frames to a path or tcp:host:port",
+            set_str: |s, v| {
+                s.obs_stream = v.trim().to_string();
+                Ok(())
+            },
+            set_json: |s, v| {
+                s.obs_stream = v
+                    .as_str()
+                    .ok_or_else(|| format!("expected a string sink, got {}", v.to_compact()))?
+                    .to_string();
+                Ok(())
+            },
+            get_json: |s| Json::Str(s.obs_stream.clone()),
+        },
         field!(flag "trace", "--trace", "EQUINOX_TRACE", trace, "record per-flit NoC trace events"),
         FieldDef {
             name: "trace_out",
@@ -649,6 +702,41 @@ mod tests {
         assert_eq!(s.checkpoint_dir, "/tmp/other");
         assert!(s.set_json(f, &Json::Num(1.0), Layer::File).is_err());
         assert_eq!(s.provenance_of("checkpoint_dir"), Some(Layer::File));
+    }
+
+    #[test]
+    fn obs_stream_parses_both_ways_and_enters_the_cache_key() {
+        let mut s = ExperimentSpec::default();
+        assert!(s.obs_stream.is_empty(), "streaming off by default");
+        let f = field_by_flag("--obs-stream").unwrap();
+        assert_eq!(f.env, "EQUINOX_OBS_STREAM");
+        s.set_str(f, " tcp:127.0.0.1:9000 ", Layer::Cli).unwrap();
+        assert_eq!(s.obs_stream, "tcp:127.0.0.1:9000");
+        s.set_json(f, &Json::Str("/tmp/frames.ndjson".into()), Layer::File).unwrap();
+        assert_eq!(s.obs_stream, "/tmp/frames.ndjson");
+        assert!(s.set_json(f, &Json::Num(1.0), Layer::File).is_err());
+        assert_eq!(s.provenance_of("obs_stream"), Some(Layer::File));
+        // Unlike checkpoint_dir, the sink arms observability and thus
+        // changes what the run records: it is part of the experiment.
+        assert!(s.cache_key_material().contains("obs_stream"));
+    }
+
+    #[test]
+    fn obs_interval_zero_is_a_fatal_config_error() {
+        let mut s = ExperimentSpec::default();
+        let f = field_by_flag("--obs-interval").unwrap();
+        s.set_str(f, "250", Layer::Cli).unwrap();
+        assert_eq!(s.obs_interval, 250);
+        for (layer, res) in [
+            (Layer::Cli, s.set_str(f, "0", Layer::Cli)),
+            (Layer::Env, s.set_str(f, " 0 ", Layer::Env)),
+        ] {
+            let err = res.unwrap_err();
+            assert!(err.contains("> 0"), "{layer:?}: error must say > 0: {err}");
+        }
+        let err = s.set_json(f, &Json::Num(0.0), Layer::File).unwrap_err();
+        assert!(err.contains("> 0"), "file layer must reject 0 too: {err}");
+        assert_eq!(s.obs_interval, 250, "rejected values must not stick");
     }
 
     #[test]

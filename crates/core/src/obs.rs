@@ -32,8 +32,10 @@ use equinox_config::Json;
 use equinox_noc::network::{InjectorId, Network};
 use equinox_noc::trace::{TraceEvent, TraceKind};
 use equinox_obs::{
-    ChromeTrace, CounterId, HistogramId, Registry, SpanId, SpanProfiler, TimeSeries,
+    ChromeTrace, CounterId, Histogram, HistogramId, NetCause, Registry, SpanId, SpanProfiler,
+    StreamWriter, TimeSeries, CAUSE_NAMES, NET_CAUSE_NAMES, STALL_CLASSES,
 };
+use equinox_phys::Coord;
 
 /// Observability configuration carried by
 /// [`SystemConfig`](crate::system::SystemConfig).
@@ -44,6 +46,10 @@ pub struct ObsConfig {
     /// Span-event ring capacity (wall-clock phase events retained for
     /// the Chrome trace export; aggregates are always kept).
     pub span_capacity: usize,
+    /// Live-telemetry sink (`path` or `tcp:host:port`); empty = off.
+    /// When set, one `obs.sample/v1` line-JSON frame goes out per
+    /// sampling interval plus a terminal `obs.summary/v1` frame.
+    pub stream: String,
 }
 
 impl Default for ObsConfig {
@@ -51,6 +57,7 @@ impl Default for ObsConfig {
         ObsConfig {
             interval: 1_000,
             span_capacity: 32_768,
+            stream: String::new(),
         }
     }
 }
@@ -85,6 +92,15 @@ const PHASE_NAMES: [&str; 5] = [
 /// Latency histogram bucket upper edges, in core cycles.
 const LAT_BOUNDS: [u64; 11] = [16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384];
 
+/// In-network stall causes in emission order (matches
+/// [`equinox_obs::NET_CAUSE_NAMES`] indexing).
+const NET_CAUSE_LIST: [NetCause; 4] = [
+    NetCause::VcAlloc,
+    NetCause::SwitchLoss,
+    NetCause::CreditStarve,
+    NetCause::EjectWait,
+];
+
 /// Cap on time-series rows regardless of `max_cycles / interval` (a
 /// 2M-cycle run at interval 1 must not preallocate gigabytes).
 const MAX_SAMPLES: usize = 65_536;
@@ -113,6 +129,32 @@ pub(crate) struct SystemObs {
     last_ff: u64,
     /// Scratch row reused by every sample (allocation-free sampling).
     scratch: Vec<f64>,
+    /// Original mesh side length (the coordinate space of
+    /// `PacketRecord::src`), for the injection-wait heat grids.
+    mesh_n: u16,
+    /// Attribution (`obs/v2`): NI/EIR injection-queue wait, charged at
+    /// delivery. Kept outside the registry so the `obs/v1` block stays
+    /// byte-identical to pre-attribution builds. `[class]` = cycles.
+    inj_wait_total: [u64; STALL_CLASSES],
+    /// Per-class injection-wait distributions.
+    h_inj_wait: [Histogram; STALL_CLASSES],
+    /// Per-class injection-wait heat over source tiles (row-major
+    /// `mesh_n × mesh_n`).
+    inj_heat: [Vec<u64>; STALL_CLASSES],
+    /// Live frame sink (wall-clock side effects only — never part of
+    /// snapshots or deterministic artifacts; frame *contents* are
+    /// cycle-derived).
+    stream: Option<StreamWriter>,
+    /// Frames emitted so far (the `seq` field of each frame).
+    stream_seq: u64,
+}
+
+/// Sums one in-network cause over every armed subnet grid for `class`.
+fn net_cause_total(nets: &[Network], class: usize, cause: NetCause) -> u64 {
+    nets.iter()
+        .filter_map(|n| n.stall_grid())
+        .map(|g| g.class_total(class, cause))
+        .sum()
 }
 
 impl SystemObs {
@@ -124,6 +166,7 @@ impl SystemObs {
         nets: &[Network],
         eir_groups: Vec<Vec<InjectorId>>,
         max_cycles: u64,
+        mesh_n: u16,
     ) -> Self {
         let interval = cfg.interval.max(1);
         let rows = ((max_cycles / interval) as usize).saturating_add(2).min(MAX_SAMPLES);
@@ -175,6 +218,19 @@ impl SystemObs {
             last_eir: vec![0; n_eir],
             last_ff: 0,
             scratch: Vec::with_capacity(width),
+            mesh_n,
+            inj_wait_total: [0; STALL_CLASSES],
+            h_inj_wait: [Histogram::new(&LAT_BOUNDS), Histogram::new(&LAT_BOUNDS)],
+            inj_heat: [
+                vec![0; mesh_n as usize * mesh_n as usize],
+                vec![0; mesh_n as usize * mesh_n as usize],
+            ],
+            stream: (!cfg.stream.is_empty()).then(|| {
+                StreamWriter::open(&cfg.stream).unwrap_or_else(|e| {
+                    panic!("--obs-stream {}: cannot open sink: {e}", cfg.stream)
+                })
+            }),
+            stream_seq: 0,
         }
     }
 
@@ -235,6 +291,22 @@ impl SystemObs {
         }
     }
 
+    /// Charges one delivered packet's NI/EIR injection-queue wait
+    /// (cycles from creation to its head flit entering a router) to the
+    /// `inj_queue` cause: per-class total, distribution, and the source
+    /// tile's heat cell.
+    #[inline]
+    pub(crate) fn record_inj_wait(&mut self, reply: bool, wait_cycles: u64, src: Coord) {
+        let c = reply as usize;
+        self.inj_wait_total[c] += wait_cycles;
+        self.h_inj_wait[c].record(wait_cycles);
+        // Sources live in original mesh coordinates; anything outside
+        // (impossible today) would scramble the grid, so guard.
+        if let Some(cell) = self.inj_heat[c].get_mut(src.to_index(self.mesh_n)) {
+            *cell += wait_cycles;
+        }
+    }
+
     /// Records one time-series row at `cycle` and re-arms the sampling
     /// threshold. Deltas are measured against the previous sample, so
     /// quiescence fast-forwards simply stretch the row's cycle span
@@ -270,6 +342,98 @@ impl SystemObs {
         self.series.sample(cycle, &self.scratch);
         self.last_cycle = cycle;
         self.next_sample = cycle + self.series.interval();
+        if self.stream.is_some() {
+            self.emit_sample_frame(cycle, nets, tracker);
+        }
+    }
+
+    /// Emits one `obs.sample/v1` line-JSON frame: the row just sampled
+    /// plus cumulative delivery counts and aggregate stall-cause totals
+    /// (cycle-derived only, so frames are byte-identical across
+    /// `--sim-threads`).
+    fn emit_sample_frame(&mut self, cycle: u64, nets: &[Network], tracker: &PacketTracker) {
+        let frame = Json::obj()
+            .with("schema", "obs.sample/v1")
+            .with("seq", self.stream_seq as f64)
+            .with("cycle", cycle as f64)
+            .with("throughput_flits_per_cycle", self.scratch.first().copied().unwrap_or(0.0))
+            .with("packets_in_flight", tracker.in_flight() as f64)
+            .with("ff_cycles_skipped", self.registry.counter_value(self.c_ff_cycles) as f64)
+            .with("req_delivered", self.registry.counter_value(self.c_req_pkts) as f64)
+            .with("rep_delivered", self.registry.counter_value(self.c_rep_pkts) as f64)
+            .with("stall", self.stall_totals_json(nets));
+        self.stream_seq += 1;
+        self.stream.as_mut().expect("stream armed").write_line(&frame.to_compact());
+    }
+
+    /// Emits the terminal `obs.summary/v1` frame (per-class latency
+    /// breakdown) and flushes the sink. No-op without a stream.
+    pub(crate) fn emit_summary_frame(&mut self, cycle: u64, nets: &[Network]) {
+        if self.stream.is_none() {
+            return;
+        }
+        let frame = Json::obj()
+            .with("schema", "obs.summary/v1")
+            .with("seq", self.stream_seq as f64)
+            .with("cycle", cycle as f64)
+            .with("req_delivered", self.registry.counter_value(self.c_req_pkts) as f64)
+            .with("rep_delivered", self.registry.counter_value(self.c_rep_pkts) as f64)
+            .with(
+                "per_class",
+                Json::obj()
+                    .with("request", self.class_breakdown(0, nets))
+                    .with("reply", self.class_breakdown(1, nets)),
+            );
+        self.stream_seq += 1;
+        let w = self.stream.as_mut().expect("stream armed");
+        w.write_line(&frame.to_compact());
+        w.flush();
+    }
+
+    /// Cumulative stall-cycle totals, per cause, summed over classes and
+    /// subnets (the aggregate view a live dashboard renders).
+    fn stall_totals_json(&self, nets: &[Network]) -> Json {
+        let mut out = Json::obj().with(
+            "inj_queue",
+            (self.inj_wait_total[0] + self.inj_wait_total[1]) as f64,
+        );
+        for cause in NET_CAUSE_LIST {
+            let total: u64 = (0..STALL_CLASSES)
+                .map(|c| net_cause_total(nets, c, cause))
+                .sum();
+            out = out.with(NET_CAUSE_NAMES[cause as usize], total as f64);
+        }
+        out
+    }
+
+    /// The per-class latency-breakdown row: every cause's cumulative
+    /// cycles plus the serialization residual, which by construction
+    /// makes the row sum to the class's measured end-to-end latency
+    /// (exact on completed runs of same-clock schemes; see DESIGN.md).
+    fn class_breakdown(&self, class: usize, nets: &[Network]) -> Json {
+        let (delivered, e2e) = if class == 0 {
+            (
+                self.registry.counter_value(self.c_req_pkts),
+                self.registry.histogram_ref(self.h_req_lat).sum(),
+            )
+        } else {
+            (
+                self.registry.counter_value(self.c_rep_pkts),
+                self.registry.histogram_ref(self.h_rep_lat).sum(),
+            )
+        };
+        let inj = self.inj_wait_total[class];
+        let mut charged = inj;
+        let mut out = Json::obj()
+            .with("delivered", delivered as f64)
+            .with("e2e_cycles", e2e as f64)
+            .with("inj_queue", inj as f64);
+        for cause in NET_CAUSE_LIST {
+            let t = net_cause_total(nets, class, cause);
+            charged += t;
+            out = out.with(NET_CAUSE_NAMES[cause as usize], t as f64);
+        }
+        out.with("serialization", e2e.saturating_sub(charged) as f64)
     }
 
     /// Serializes the cycle-derived observability state: registry
@@ -287,6 +451,18 @@ impl SystemObs {
         self.last_links.snap(e);
         self.last_eir.snap(e);
         e.put_u64(self.last_ff);
+        // Attribution state (the stream writer itself is wall-clock I/O
+        // and stays out, like the spans; `stream_seq` is cycle-derived).
+        for &v in &self.inj_wait_total {
+            e.put_u64(v);
+        }
+        for h in &self.h_inj_wait {
+            h.snap_state(e);
+        }
+        for grid in &self.inj_heat {
+            grid.snap(e);
+        }
+        e.put_u64(self.stream_seq);
     }
 
     /// Restores state written by [`SystemObs::snap_state`] into an
@@ -313,6 +489,20 @@ impl SystemObs {
         self.last_links = last_links;
         self.last_eir = last_eir;
         self.last_ff = d.u64()?;
+        for v in &mut self.inj_wait_total {
+            *v = d.u64()?;
+        }
+        for h in &mut self.h_inj_wait {
+            h.restore_state(d)?;
+        }
+        for grid in &mut self.inj_heat {
+            let g: Vec<u64> = Vec::restore(d)?;
+            if g.len() != grid.len() {
+                return Err(SnapError::BadValue("inj heat grid shape"));
+            }
+            *grid = g;
+        }
+        self.stream_seq = d.u64()?;
         Ok(())
     }
 
@@ -331,19 +521,7 @@ impl SystemObs {
         }
         let mut hists = Json::obj();
         for (name, h) in self.registry.histograms() {
-            hists = hists.with(
-                name,
-                Json::obj()
-                    .with("bounds", h.bounds().iter().map(|&b| Json::Num(b as f64)).collect::<Vec<_>>())
-                    .with("counts", h.counts().iter().map(|&c| Json::Num(c as f64)).collect::<Vec<_>>())
-                    .with("count", h.count() as f64)
-                    .with("min", h.min().unwrap_or(0) as f64)
-                    .with("max", h.max().unwrap_or(0) as f64)
-                    .with("mean", h.mean())
-                    .with("p50", h.quantile(0.50))
-                    .with("p95", h.quantile(0.95))
-                    .with("p99", h.quantile(0.99)),
-            );
+            hists = hists.with(name, hist_json(h));
         }
         let mut series = Json::obj().with(
             "cycle",
@@ -392,6 +570,63 @@ impl SystemObs {
             .with("links", links)
     }
 
+    /// The `equinox.obs/v2` artifact block: the stall-cause attribution
+    /// layer. Per-class latency-breakdown rows (each summing to the
+    /// class's measured end-to-end latency), per-router × per-cause
+    /// stall heat grids for every subnet, injection-wait distributions
+    /// and per-source-tile injection-wait heat. Cycle-derived only —
+    /// bit-identical across worker counts. Emitted *next to* the v1
+    /// block, which stays byte-for-byte unchanged.
+    pub(crate) fn to_json_v2(&self, nets: &[Network]) -> Json {
+        let causes: Vec<Json> = CAUSE_NAMES.iter().map(|&c| Json::Str(c.into())).collect();
+        let per_class = Json::obj()
+            .with("request", self.class_breakdown(0, nets))
+            .with("reply", self.class_breakdown(1, nets));
+        let mut stall_heat = Vec::new();
+        for (i, net) in nets.iter().enumerate() {
+            let Some(g) = net.stall_grid() else { continue };
+            for cause in NET_CAUSE_LIST {
+                stall_heat.push(
+                    Json::obj()
+                        .with("net", i as f64)
+                        .with("cause", NET_CAUSE_NAMES[cause as usize])
+                        .with("width", net.width() as f64)
+                        .with("height", net.height() as f64)
+                        .with(
+                            "heat",
+                            g.heat(cause).map(|v| Json::Num(v as f64)).collect::<Vec<_>>(),
+                        ),
+                );
+            }
+        }
+        let inj_hists = Json::obj()
+            .with("request", hist_json(&self.h_inj_wait[0]))
+            .with("reply", hist_json(&self.h_inj_wait[1]));
+        let inj_heat: Vec<Json> = ["request", "reply"]
+            .iter()
+            .zip(&self.inj_heat)
+            .map(|(&name, grid)| {
+                Json::obj()
+                    .with("class", name)
+                    .with("width", self.mesh_n as f64)
+                    .with("height", self.mesh_n as f64)
+                    .with("heat", grid.iter().map(|&v| Json::Num(v as f64)).collect::<Vec<_>>())
+            })
+            .collect();
+        Json::obj()
+            .with("schema", "equinox.obs/v2")
+            .with("causes", causes)
+            .with("per_class", per_class)
+            .with("stall_heat", stall_heat)
+            .with("inj_wait_histograms", inj_hists)
+            .with("inj_heat", inj_heat)
+    }
+
+    /// `(frames_written, write_errors)` of the live sink, when armed.
+    pub(crate) fn stream_stats(&self) -> Option<(u64, u64)> {
+        self.stream.as_ref().map(|s| (s.lines_written(), s.errors()))
+    }
+
     /// A one-screen human summary for stderr reports.
     pub(crate) fn summary(&self) -> String {
         let mut out = String::new();
@@ -415,6 +650,21 @@ impl SystemObs {
         }
         out
     }
+}
+
+/// One histogram's artifact emission (shared by the `obs/v1` and
+/// `obs/v2` blocks — field order is part of the byte-identity contract).
+fn hist_json(h: &Histogram) -> Json {
+    Json::obj()
+        .with("bounds", h.bounds().iter().map(|&b| Json::Num(b as f64)).collect::<Vec<_>>())
+        .with("counts", h.counts().iter().map(|&c| Json::Num(c as f64)).collect::<Vec<_>>())
+        .with("count", h.count() as f64)
+        .with("min", h.min().unwrap_or(0) as f64)
+        .with("max", h.max().unwrap_or(0) as f64)
+        .with("mean", h.mean())
+        .with("p50", h.quantile(0.50))
+        .with("p95", h.quantile(0.95))
+        .with("p99", h.quantile(0.99))
 }
 
 /// Assembles the Chrome trace-event JSON for one run: wall-clock phase

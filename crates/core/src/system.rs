@@ -157,8 +157,11 @@ impl SystemConfig {
             watchdog_window: spec.audit_watchdog_window,
             panic_on_violation: spec.audit_panic,
         });
-        self.obs = spec.obs.then_some(crate::obs::ObsConfig {
+        // A live stream implies observability: the frames are produced
+        // by the sampling path, so `--obs-stream` alone arms it.
+        self.obs = (spec.obs || !spec.obs_stream.is_empty()).then_some(crate::obs::ObsConfig {
             interval: spec.obs_interval.max(1),
+            stream: spec.obs_stream.clone(),
             ..Default::default()
         });
         self.trace_capacity = if spec.trace { spec.trace_capacity } else { 0 };
@@ -593,10 +596,18 @@ impl System {
                 net.enable_trace(cfg.trace_capacity);
             }
         }
+        if cfg.obs.is_some() {
+            // Stall-cause attribution rides with observability: the
+            // router pipelines charge per-router × per-cause counters
+            // that the obs/v2 block and stream frames aggregate.
+            for net in &mut nets {
+                net.enable_stalls();
+            }
+        }
         let obs = cfg
             .obs
             .as_ref()
-            .map(|o| Box::new(SystemObs::new(o, &nets, eir_groups, cfg.max_cycles)));
+            .map(|o| Box::new(SystemObs::new(o, &nets, eir_groups, cfg.max_cycles, cfg.n)));
 
         let total_instrs = cfg.workload.total_instrs(pe_count);
         let lanes = resolved_sim_threads(cfg.sim_threads, nets.len());
@@ -815,8 +826,11 @@ impl System {
                 if f.is_tail() {
                     self.tracker.mark_ejected(f.pkt.0, t);
                     if let Some(o) = self.obs.as_deref_mut() {
-                        let created = self.tracker.record(f.pkt.0).created;
+                        let rec = self.tracker.record(f.pkt.0);
+                        let created = rec.created;
                         o.record_latency(true, t.saturating_sub(created));
+                        let wait = rec.injected.map_or(0, |i| i.saturating_sub(created));
+                        o.record_inj_wait(true, wait, rec.src);
                     }
                     let pe = self.pes[node]
                         .as_mut()
@@ -840,8 +854,11 @@ impl System {
                         if f.is_tail() {
                             self.tracker.mark_ejected(f.pkt.0, t);
                             if let Some(o) = self.obs.as_deref_mut() {
-                                let created = self.tracker.record(f.pkt.0).created;
+                                let rec = self.tracker.record(f.pkt.0);
+                                let created = rec.created;
                                 o.record_latency(false, t.saturating_sub(created));
+                                let wait = rec.injected.map_or(0, |i| i.saturating_sub(created));
+                                o.record_inj_wait(false, wait, rec.src);
                             }
                             self.cbs[ci].accept(f.pkt.0, &self.tracker, t);
                             // The accepted request re-arms the bank's
@@ -1102,6 +1119,9 @@ impl System {
             if o.needs_final_sample(self.cycle) {
                 o.sample(self.cycle, &self.nets, &self.tracker);
             }
+            // Close a live stream with the terminal breakdown frame
+            // (no-op without `--obs-stream`).
+            o.emit_summary_frame(self.cycle, &self.nets);
         }
         self.metrics()
     }
@@ -1427,6 +1447,20 @@ impl System {
         self.obs.as_ref().map(|o| o.to_json(&self.nets))
     }
 
+    /// The `equinox.obs/v2` artifact block (stall-cause attribution):
+    /// per-class latency breakdowns summing to end-to-end latency,
+    /// per-router × per-cause stall heat grids, and injection-wait
+    /// distributions. Cycle-derived, bit-identical across worker counts.
+    pub fn obs_json_v2(&self) -> Option<equinox_config::Json> {
+        self.obs.as_ref().map(|o| o.to_json_v2(&self.nets))
+    }
+
+    /// `(frames_written, write_errors)` of the `--obs-stream` sink when
+    /// one is armed; `None` otherwise.
+    pub fn obs_stream_stats(&self) -> Option<(u64, u64)> {
+        self.obs.as_ref().and_then(|o| o.stream_stats())
+    }
+
     /// Chrome trace-event JSON for Perfetto / `chrome://tracing`:
     /// wall-clock `System::step` phase spans (when obs is armed) plus
     /// the drained flit traces as instant events with `ts` = the
@@ -1659,12 +1693,17 @@ mod tests {
 
     #[test]
     fn parallel_stepping_composes_with_gate_audit_and_obs() {
+        let dir = std::env::temp_dir().join(format!("eqsn_obs_stream_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
         let go = |sim_threads: usize| {
+            let path = dir.join(format!("frames_{sim_threads}.jsonl"));
+            let _ = std::fs::remove_file(&path);
             let mut cfg = SystemConfig::new(SchemeKind::Da2Mesh, 8, tiny_workload("bfs"));
             cfg.max_cycles = 200_000;
             cfg.audit = Some(equinox_noc::AuditConfig::default());
             cfg.obs = Some(crate::obs::ObsConfig {
                 interval: 500,
+                stream: path.display().to_string(),
                 ..Default::default()
             });
             cfg.sim_threads = sim_threads;
@@ -1672,13 +1711,81 @@ mod tests {
             let m = sys.run();
             assert!(m.completed);
             let sweeps: Vec<u64> = sys.networks().iter().map(|n| n.audit_sweeps()).collect();
-            (m.cycles, sweeps, sys.obs_json().expect("obs armed").pretty())
+            let frames = std::fs::read_to_string(&path).unwrap();
+            (
+                m.cycles,
+                sweeps,
+                sys.obs_json().expect("obs armed").pretty(),
+                sys.obs_json_v2().expect("obs armed").pretty(),
+                frames,
+            )
         };
         let serial = go(1);
-        let par = go(4);
-        assert_eq!(serial.0, par.0, "cycles diverged");
-        assert_eq!(serial.1, par.1, "audit sweep schedules diverged");
-        assert_eq!(serial.2, par.2, "obs/v1 block must be byte-identical");
+        assert!(
+            serial.4.contains("obs.sample/v1") && serial.4.contains("obs.summary/v1"),
+            "stream must carry sample and summary frames"
+        );
+        for k in [2, 8] {
+            let par = go(k);
+            assert_eq!(serial.0, par.0, "cycles diverged at {k} lanes");
+            assert_eq!(serial.1, par.1, "audit sweep schedules diverged at {k} lanes");
+            assert_eq!(serial.2, par.2, "obs/v1 block must be byte-identical");
+            assert_eq!(serial.3, par.3, "obs/v2 block must be byte-identical");
+            assert_eq!(serial.4, par.4, "stream frames must be byte-identical");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stall_attribution_sums_to_measured_latency() {
+        // The head-front-only charging invariant, pinned end-to-end: on
+        // same-clock schemes (core and net step 1:1) every per-class
+        // cause total plus the serialization residual reconstructs the
+        // class's measured end-to-end latency sum exactly. Saturation in
+        // the residual means over-charging also breaks the equality.
+        for scheme in [SchemeKind::SeparateBase, SchemeKind::EquiNox] {
+            let mut cfg = SystemConfig::new(scheme, 8, tiny_workload("hotspot"));
+            cfg.max_cycles = 400_000;
+            cfg.obs = Some(crate::obs::ObsConfig::default());
+            let mut sys = System::build(cfg);
+            let m = sys.run();
+            assert!(m.completed, "{scheme:?} stalled at {}", m.cycles);
+            let v2 = sys.obs_json_v2().expect("obs armed");
+            assert_eq!(
+                v2.get("schema").and_then(|s| s.as_str()),
+                Some("equinox.obs/v2")
+            );
+            let pc = v2.get("per_class").unwrap();
+            let mut queueing = 0u64;
+            for class in ["request", "reply"] {
+                let row = pc.get(class).unwrap();
+                let get = |k: &str| {
+                    row.get(k)
+                        .and_then(|v| v.as_u64())
+                        .unwrap_or_else(|| panic!("{class}.{k} missing"))
+                };
+                assert!(get("delivered") > 0, "{scheme:?} {class}: nothing delivered");
+                let sum: u64 = [
+                    "inj_queue",
+                    "vc_alloc",
+                    "switch_loss",
+                    "credit_starve",
+                    "eject_wait",
+                    "serialization",
+                ]
+                .iter()
+                .map(|&c| get(c))
+                .sum();
+                assert_eq!(
+                    sum,
+                    get("e2e_cycles"),
+                    "{scheme:?} {class}: causes must reconstruct e2e exactly"
+                );
+                queueing +=
+                    get("inj_queue") + get("vc_alloc") + get("switch_loss") + get("credit_starve");
+            }
+            assert!(queueing > 0, "{scheme:?}: hotspot traffic must contend somewhere");
+        }
     }
 
     #[test]
@@ -1737,12 +1844,16 @@ mod tests {
         let other = SystemConfig::new(SchemeKind::Da2Mesh, 8, tiny_workload("bfs"));
         assert!(System::build(other).restore(&snap).is_err());
 
-        // An obs-armed build must refuse an obs-less snapshot.
+        // An obs-armed build must refuse an obs-less snapshot. Arming obs
+        // also arms per-network stall attribution, and the networks restore
+        // first, so the stall section is where the mismatch surfaces.
         let mut armed = cfg.clone();
         armed.obs = Some(crate::obs::ObsConfig::default());
         assert!(matches!(
             System::build(armed).restore(&snap),
-            Err(equinox_snap::SnapError::BadValue("obs arming mismatch"))
+            Err(equinox_snap::SnapError::BadValue(
+                "stall arming mismatch" | "obs arming mismatch"
+            ))
         ));
 
         // Truncations and header corruption are structural errors.

@@ -23,6 +23,7 @@ use crate::router::{OutputRole, Router, PORT_LOCAL};
 use crate::stats::NetStats;
 use crate::topology::{Topology, TopologyKind};
 use crate::trace::{Trace, TraceEvent, TraceKind};
+use equinox_obs::{NetCause, StallGrid};
 use equinox_phys::Coord;
 use std::collections::VecDeque;
 use std::ops::Range;
@@ -94,6 +95,20 @@ impl ActiveSet {
     }
 }
 
+/// Stall-cause attribution state (the `obs/v2` layer), armed by
+/// [`Network::enable_stalls`]. Boxed behind an `Option` like the
+/// auditor: disabled, every hook costs one branch and no allocation.
+#[derive(Debug)]
+pub(crate) struct NetStalls {
+    /// Per-router × per-cause stall-cycle counters + per-class totals.
+    grid: StallGrid,
+    /// Entry cycle of every flit parked in an ejection queue, parallel
+    /// deque-for-deque to [`Network::eject`]. Preallocated to
+    /// `eject_cap` (the queues' hard bound) so steady-state pushes
+    /// never allocate.
+    eject_ts: Vec<Vec<VecDeque<u64>>>,
+}
+
 /// A cycle-accurate network over one of the registered
 /// [`crate::topology`] fabrics.
 #[derive(Debug)]
@@ -121,6 +136,9 @@ pub struct Network {
     /// Opt-in invariant auditor (disabled by default; boxed so the
     /// disabled case costs one pointer and a branch per cycle).
     pub(crate) audit: Option<Box<AuditState>>,
+    /// Opt-in stall-cause attribution (disabled by default; same
+    /// one-branch discipline as the auditor).
+    stall: Option<Box<NetStalls>>,
     /// Routers that may do work this cycle (≥ 1 buffered flit).
     active_routers: ActiveSet,
     /// Links with flits in flight.
@@ -174,6 +192,7 @@ impl Network {
             sa_winners: Vec::new(),
             trace: Trace::default(),
             audit: None,
+            stall: None,
             active_routers: ActiveSet::with_len(n),
             active_flit_links: ActiveSet::default(),
             active_credit_links: ActiveSet::default(),
@@ -434,6 +453,7 @@ impl Network {
             if let Some(a) = self.audit.as_deref_mut() {
                 a.note_pop(f.class);
             }
+            self.note_eject_pop(router, port, f);
         }
         f
     }
@@ -442,16 +462,37 @@ impl Network {
     /// `node`.
     pub fn pop_ejected_node(&mut self, node: Coord) -> Option<Flit> {
         let r = self.topo.node_index(node);
-        for q in self.eject[r].iter_mut() {
-            if let Some(f) = q.pop_front() {
+        for p in 0..self.eject[r].len() {
+            if let Some(f) = self.eject[r][p].pop_front() {
                 self.eject_occupancy -= 1;
                 if let Some(a) = self.audit.as_deref_mut() {
                     a.note_pop(f.class);
                 }
+                self.note_eject_pop(r, p, &f);
                 return Some(f);
             }
         }
         None
+    }
+
+    /// Attribution hook for an ejection-queue pop: advances the parallel
+    /// timestamp deque and, on a tail flit, charges the packet's wait in
+    /// the queue to `eject_wait`. A flit ejected during the step at
+    /// cycle `t` could earliest be popped once the clock reads `t + 1`,
+    /// so the wait is `(cycle - 1) - entry` — zero for an ideal sink.
+    #[inline]
+    fn note_eject_pop(&mut self, router: usize, port: usize, f: &Flit) {
+        let cycle = self.cycle;
+        if let Some(st) = self.stall.as_deref_mut() {
+            let entry = st.eject_ts[router][port]
+                .pop_front()
+                .expect("eject timestamps track the eject queues");
+            if f.is_tail() {
+                let wait = cycle.saturating_sub(1).saturating_sub(entry);
+                st.grid
+                    .charge(router, NetCause::EjectWait, audit::class_ix(f.class), wait);
+            }
+        }
     }
 
     /// Advances the network one cycle.
@@ -659,6 +700,13 @@ impl Network {
                     vc.out_port = Some(op);
                     vc.out_vc = Some(ov);
                     self.stats.vc_allocs += 1;
+                } else if let Some(st) = self.stall.as_deref_mut() {
+                    // The head sat pipeline-clear at the front of its VC
+                    // this cycle and got no output VC: one vc_alloc
+                    // stall cycle. Mutually exclusive with the switch
+                    // post-pass charges, which require `out_vc` set.
+                    st.grid
+                        .charge(ri, NetCause::VcAlloc, audit::class_ix(head.class), 1);
                 }
             }
         }
@@ -823,6 +871,51 @@ impl Network {
             self.traverse(ri, chosen, iv, op, now);
         }
         self.sa_winners = winners;
+        if self.stall.is_some() {
+            self.charge_switch_stalls(ri, now);
+        }
+    }
+
+    /// Attribution post-pass after switch allocation: any input VC still
+    /// fronted by a pipeline-clear *head* flit that holds an output VC
+    /// did not traverse this cycle (a traversal would have popped it;
+    /// a departing tail clears `out_vc`, and a head that just arrived
+    /// has none). Charges one stall cycle per such packet — to
+    /// `credit_starve` when the allocated output cannot accept a flit,
+    /// otherwise to `switch_loss` (it could move but lost input- or
+    /// output-stage arbitration). Charging only head-fronted VCs keeps
+    /// the per-packet invariant "≤ 1 in-network charge per cycle" (a
+    /// packet's head exists in exactly one place), which is what makes
+    /// the per-class attribution sum to end-to-end latency.
+    fn charge_switch_stalls(&mut self, ri: usize, now: u64) {
+        let nports = self.routers[ri].num_ports();
+        for ip in 0..nports {
+            for iv in 0..self.routers[ri].inputs[ip].vcs.len() {
+                let vc = &self.routers[ri].inputs[ip].vcs[iv];
+                let (Some(op), Some(ov)) = (vc.out_port, vc.out_vc) else {
+                    continue;
+                };
+                let Some(&(enq, head)) = vc.buf.front() else {
+                    continue;
+                };
+                if !head.is_head() || enq + self.cfg.pipeline_extra as u64 > now {
+                    continue;
+                }
+                let out = &self.routers[ri].outputs[op];
+                let has_credit = match out.role {
+                    OutputRole::Eject { .. } => self.eject[ri][op].len() < self.cfg.eject_cap,
+                    OutputRole::Link(_) => out.vcs[ov as usize].credits > 0,
+                    OutputRole::Dead => false,
+                };
+                let cause = if has_credit {
+                    NetCause::SwitchLoss
+                } else {
+                    NetCause::CreditStarve
+                };
+                let st = self.stall.as_deref_mut().expect("stalls enabled");
+                st.grid.charge(ri, cause, audit::class_ix(head.class), 1);
+            }
+        }
     }
 
     /// Moves one flit from input `(ip, iv)` through output `op`.
@@ -877,6 +970,9 @@ impl Network {
                 self.eject[ri][op].push_back(flit);
                 self.eject_occupancy += 1;
                 self.stats.ejected_flits += 1;
+                if let Some(st) = self.stall.as_deref_mut() {
+                    st.eject_ts[ri][op].push_back(now);
+                }
                 if self.trace.enabled() {
                     self.trace.record(TraceEvent {
                         cycle: now,
@@ -981,6 +1077,45 @@ impl Network {
     /// `true` when the auditor is active.
     pub fn audit_enabled(&self) -> bool {
         self.audit.is_some()
+    }
+
+    /// Arms stall-cause attribution (the `obs/v2` layer): per-router ×
+    /// per-cause stall-cycle counters charged by the router pipeline.
+    /// Ejection timestamps for flits already parked in ejection queues
+    /// are seeded with the current cycle, so arming mid-run never
+    /// misaligns the parallel deques (their wait before arming is
+    /// simply not charged). Everything is preallocated here; the armed
+    /// steady state allocates nothing.
+    pub fn enable_stalls(&mut self) {
+        let cap = self.cfg.eject_cap;
+        let eject_ts = self
+            .eject
+            .iter()
+            .map(|ports| {
+                ports
+                    .iter()
+                    .map(|q| {
+                        let mut ts = VecDeque::with_capacity(cap.max(q.len()));
+                        ts.extend(std::iter::repeat_n(self.cycle, q.len()));
+                        ts
+                    })
+                    .collect()
+            })
+            .collect();
+        self.stall = Some(Box::new(NetStalls {
+            grid: StallGrid::new(self.routers.len()),
+            eject_ts,
+        }));
+    }
+
+    /// `true` when stall-cause attribution is armed.
+    pub fn stalls_enabled(&self) -> bool {
+        self.stall.is_some()
+    }
+
+    /// The stall-attribution grid, when armed.
+    pub fn stall_grid(&self) -> Option<&StallGrid> {
+        self.stall.as_deref().map(|s| &s.grid)
     }
 
     /// Violations retained so far (always empty while
@@ -1207,6 +1342,18 @@ impl Network {
                 a.snap_state(e);
             }
         }
+        match self.stall.as_deref() {
+            None => e.put_bool(false),
+            Some(s) => {
+                e.put_bool(true);
+                s.grid.snap_state(e);
+                for ports in &s.eject_ts {
+                    for q in ports {
+                        q.snap(e);
+                    }
+                }
+            }
+        }
     }
 
     /// Restores state written by [`Network::snapshot_state`] into a
@@ -1277,6 +1424,31 @@ impl Network {
             (true, Some(a)) => a.restore_state(d)?,
             (false, None) => {}
             _ => return Err(SnapError::BadValue("audit arming mismatch")),
+        }
+        let stalled = d.bool()?;
+        match (stalled, self.stall.is_some()) {
+            (true, true) => {
+                // The eject queues were restored above; the timestamp
+                // deques must mirror them element-for-element.
+                let eject = std::mem::take(&mut self.eject);
+                let st = self.stall.as_deref_mut().expect("stalls armed");
+                let res = (|| {
+                    st.grid.restore_state(d)?;
+                    for (ports, qs) in st.eject_ts.iter_mut().zip(&eject) {
+                        for (ts, q) in ports.iter_mut().zip(qs) {
+                            *ts = VecDeque::restore(d)?;
+                            if ts.len() != q.len() {
+                                return Err(SnapError::BadValue("eject timestamp shape"));
+                            }
+                        }
+                    }
+                    Ok(())
+                })();
+                self.eject = eject;
+                res?;
+            }
+            (false, false) => {}
+            _ => return Err(SnapError::BadValue("stall arming mismatch")),
         }
         self.recompute_activity();
         Ok(())
@@ -1719,5 +1891,126 @@ mod tests {
         assert!(s.link_flits_mesh >= 5 * 2, "at least 3 hops minus local");
         assert!(s.vc_allocs >= 4, "one per hop");
         assert!(s.router_flits.iter().sum::<u64>() >= 5);
+    }
+
+    #[test]
+    fn uncontended_packet_accrues_no_stall_charges() {
+        // A lone packet on an empty mesh, drained every cycle: nothing
+        // ever blocks it, so every in-network cause must stay at zero —
+        // the attribution layer must not invent stalls.
+        use equinox_obs::NetCause;
+        let mut net = Network::mesh(NocConfig::mesh_8x8());
+        net.enable_stalls();
+        let pkt = PacketDesc::new(0, Coord::new(0, 0), Coord::new(5, 4), MessageClass::Reply, 5);
+        drive_packet(&mut net, pkt, 400).expect("delivered");
+        let g = net.stall_grid().expect("armed");
+        for class in 0..equinox_obs::STALL_CLASSES {
+            for cause in [
+                NetCause::VcAlloc,
+                NetCause::SwitchLoss,
+                NetCause::CreditStarve,
+                NetCause::EjectWait,
+            ] {
+                assert_eq!(
+                    g.class_total(class, cause),
+                    0,
+                    "phantom {cause:?} charge for class {class}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn contended_traffic_charges_stalls_consistently() {
+        use equinox_obs::NetCause;
+        // All-to-one with a lazy sink (popped every 4th cycle): the hot
+        // router must show switch contention and the stalled sink must
+        // show ejection wait. Per-router cells and per-class totals are
+        // two views of the same charges and must agree.
+        let mut net = Network::mesh(NocConfig::mesh(4));
+        net.enable_stalls();
+        let dst = Coord::new(0, 0);
+        let mut pending = Vec::new();
+        for i in 0..16u64 {
+            let src = Coord::from_index(i as usize, 4);
+            if src != dst {
+                let pkt = PacketDesc::new(i, src, dst, MessageClass::Reply, 5);
+                pending.push((src, pkt.flits(4).into_iter().peekable()));
+            }
+        }
+        for t in 0..2000u64 {
+            for (src, flits) in pending.iter_mut() {
+                if let Some(&f) = flits.peek() {
+                    let inj = net.local_injector(*src);
+                    if net.try_inject_flit(inj, f) {
+                        flits.next();
+                    }
+                }
+            }
+            net.step();
+            if t % 4 == 0 {
+                while net.pop_ejected_node(dst).is_some() {}
+            }
+        }
+        while net.pop_ejected_node(dst).is_some() {}
+        assert!(net.quiescent(), "traffic must drain");
+        let g = net.stall_grid().expect("armed");
+        let rep = 1; // all packets are replies
+        assert!(
+            g.class_total(rep, NetCause::SwitchLoss) + g.class_total(rep, NetCause::CreditStarve)
+                > 0,
+            "many-to-one must lose switch arbitration somewhere"
+        );
+        assert!(
+            g.class_total(rep, NetCause::EjectWait) > 0,
+            "a lazy sink must charge ejection wait"
+        );
+        assert_eq!(g.class_sum(0), 0, "no request traffic, no request charges");
+        for cause in [
+            NetCause::VcAlloc,
+            NetCause::SwitchLoss,
+            NetCause::CreditStarve,
+            NetCause::EjectWait,
+        ] {
+            let cells: u64 = g.heat(cause).sum();
+            assert_eq!(
+                cells,
+                g.class_total(0, cause) + g.class_total(1, cause),
+                "{cause:?}: per-router cells must sum to the class totals"
+            );
+        }
+    }
+
+    #[test]
+    fn stall_state_snapshots_and_rejects_arming_mismatch() {
+        use equinox_snap::{Dec, Enc, SnapError};
+        let mut net = Network::mesh(NocConfig::mesh(4));
+        net.enable_stalls();
+        let pkt = PacketDesc::new(0, Coord::new(0, 0), Coord::new(3, 3), MessageClass::Request, 3);
+        drive_packet(&mut net, pkt, 300).expect("delivered");
+        let mut e = Enc::new();
+        net.snapshot_state(&mut e);
+        let bytes = e.into_bytes();
+
+        let mut armed = Network::mesh(NocConfig::mesh(4));
+        armed.enable_stalls();
+        let mut d = Dec::new(&bytes);
+        armed.restore_state(&mut d).expect("restore into armed net");
+        d.finish().expect("snapshot fully consumed");
+        let (a, b) = (net.stall_grid().unwrap(), armed.stall_grid().unwrap());
+        for cause in [
+            NetCause::VcAlloc,
+            NetCause::SwitchLoss,
+            NetCause::CreditStarve,
+            NetCause::EjectWait,
+        ] {
+            assert_eq!(a.heat(cause).sum::<u64>(), b.heat(cause).sum::<u64>());
+        }
+
+        let mut unarmed = Network::mesh(NocConfig::mesh(4));
+        assert!(matches!(
+            unarmed.restore_state(&mut Dec::new(&bytes)),
+            Err(SnapError::BadValue(_))
+        ));
     }
 }

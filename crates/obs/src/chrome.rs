@@ -166,6 +166,32 @@ mod tests {
     }
 
     #[test]
+    fn hostile_names_survive_every_emission_path() {
+        // Quotes, backslashes, newlines/tabs and raw control characters
+        // must be escaped on every path a caller-supplied string takes
+        // into the document: event names, process/thread metadata names
+        // and args keys. Perfetto rejects the whole file on a single
+        // unescaped byte, so this is load-bearing for the exporter.
+        let hostile = "evil\"name\\with\nnew\tline\r\u{0001}ctl";
+        let mut t = ChromeTrace::new();
+        t.process_name(1, hostile);
+        t.thread_name(1, 2, hostile);
+        t.complete(hostile, 1, 2, 1.0, 2.0, &[(hostile, 3.0)]);
+        t.instant(hostile, 1, 2, 4.0, &[(hostile, 5.0)]);
+        let s = t.finish();
+        // No raw control bytes or unescaped quotes may survive: every
+        // '"' in the document must be structural or preceded by '\'.
+        assert!(!s.contains('\n') && !s.contains('\t') && !s.contains('\r'));
+        assert!(!s.contains('\u{0001}'), "raw control char leaked");
+        assert!(s.contains("evil\\\"name\\\\with\\nnew\\tline\\r\\u0001ctl"));
+        assert_eq!(s.matches("evil").count(), 6, "all six emission paths escaped");
+        // Structural sanity: braces/brackets still balance after the
+        // hostile input (backslash-escape bugs typically break this).
+        assert_eq!(s.matches('{').count(), s.matches('}').count());
+        assert_eq!(s.matches('[').count(), s.matches(']').count());
+    }
+
+    #[test]
     fn empty_trace_is_valid() {
         assert_eq!(ChromeTrace::new().finish(), "{\"traceEvents\": []}");
     }

@@ -16,6 +16,10 @@
 //! * [`ChromeTrace`] — a writer for the Chrome trace-event JSON format
 //!   (loadable in Perfetto / `chrome://tracing`), used to export span
 //!   events and per-flit NoC trace events onto one timeline.
+//! * [`StallGrid`] — per-router × per-cause stall-cycle attribution
+//!   counters (the `obs/v2` layer), charged by the router pipeline.
+//! * [`StreamWriter`] — a line-JSON (NDJSON) frame sink over a file or
+//!   raw TCP connection, for live mid-run telemetry.
 //!
 //! Everything here is plain `std`: registration allocates, recording
 //! does not. Wall-clock data ([`SpanProfiler`]) is inherently
@@ -29,9 +33,13 @@ pub mod histogram;
 pub mod registry;
 pub mod series;
 pub mod span;
+pub mod stall;
+pub mod stream;
 
 pub use chrome::ChromeTrace;
 pub use histogram::Histogram;
 pub use registry::{CounterId, GaugeId, HistogramId, Registry};
 pub use series::{SeriesId, TimeSeries};
 pub use span::{SpanEvent, SpanId, SpanProfiler};
+pub use stall::{NetCause, StallGrid, CAUSE_NAMES, NET_CAUSES, NET_CAUSE_NAMES, STALL_CLASSES};
+pub use stream::StreamWriter;

@@ -1,0 +1,174 @@
+//! Dependency-free line-JSON (NDJSON) streaming sink.
+//!
+//! The live-telemetry leg of the observability layer: the simulator
+//! writes one self-contained JSON object per line — `obs.sample/v1`
+//! frames every sampling interval, one terminal `obs.summary/v1` frame
+//! — to either a file (append mode) or a raw TCP connection
+//! (`tcp:host:port`, hand-rolled on `std::net` per the workspace
+//! zero-dependency rule). Each line goes out as a single `write_all`
+//! call so concurrent writers on a local file interleave whole lines,
+//! and a reader tailing the file never sees a torn frame boundary on
+//! Linux pipes/files smaller than `PIPE_BUF`.
+//!
+//! Sink failures never abort a simulation: the first write error marks
+//! the sink dead, subsequent writes are dropped, and the error count is
+//! reported in the run's artifact so silent data loss is visible.
+
+use std::io::Write;
+use std::net::TcpStream;
+
+/// Where frames go.
+#[derive(Debug)]
+enum Sink {
+    File(std::fs::File),
+    Tcp(TcpStream),
+    /// A write failed; drop everything from here on.
+    Dead,
+}
+
+/// Line-oriented JSON frame writer over a file or TCP sink.
+#[derive(Debug)]
+pub struct StreamWriter {
+    sink: Sink,
+    target: String,
+    scratch: Vec<u8>,
+    lines: u64,
+    errors: u64,
+}
+
+impl StreamWriter {
+    /// Opens a sink. `tcp:host:port` connects a TCP stream (the peer —
+    /// e.g. `equinox watch` — must already be listening); anything else
+    /// is a file path opened in create+append mode.
+    pub fn open(target: &str) -> std::io::Result<Self> {
+        let sink = match target.strip_prefix("tcp:") {
+            Some(addr) => Sink::Tcp(TcpStream::connect(addr)?),
+            None => Sink::File(
+                std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(target)?,
+            ),
+        };
+        Ok(StreamWriter {
+            sink,
+            target: target.to_string(),
+            scratch: Vec::with_capacity(4096),
+            lines: 0,
+            errors: 0,
+        })
+    }
+
+    /// The target string the writer was opened with.
+    pub fn target(&self) -> &str {
+        &self.target
+    }
+
+    /// Writes one frame as a single line (a trailing `\n` is appended;
+    /// `frame` itself must not contain newlines — the caller emits
+    /// compact single-line JSON). One `write_all` per line.
+    pub fn write_line(&mut self, frame: &str) {
+        debug_assert!(!frame.contains('\n'), "frames must be single-line");
+        self.scratch.clear();
+        self.scratch.extend_from_slice(frame.as_bytes());
+        self.scratch.push(b'\n');
+        let res = match &mut self.sink {
+            Sink::File(f) => f.write_all(&self.scratch),
+            Sink::Tcp(s) => s.write_all(&self.scratch),
+            Sink::Dead => {
+                self.errors += 1;
+                return;
+            }
+        };
+        match res {
+            Ok(()) => self.lines += 1,
+            Err(_) => {
+                self.errors += 1;
+                self.sink = Sink::Dead;
+            }
+        }
+    }
+
+    /// Flushes the underlying sink (TCP streams buffer nothing, but
+    /// file sinks may; called once at end of run).
+    pub fn flush(&mut self) {
+        let res = match &mut self.sink {
+            Sink::File(f) => f.flush(),
+            Sink::Tcp(s) => s.flush(),
+            Sink::Dead => return,
+        };
+        if res.is_err() {
+            self.errors += 1;
+            self.sink = Sink::Dead;
+        }
+    }
+
+    /// Frames successfully written.
+    pub fn lines_written(&self) -> u64 {
+        self.lines
+    }
+
+    /// Frames dropped on a dead or failing sink.
+    pub fn errors(&self) -> u64 {
+        self.errors
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{BufRead, BufReader};
+
+    #[test]
+    fn file_sink_writes_one_frame_per_line() {
+        let dir = std::env::temp_dir().join("equinox_stream_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("frames.ndjson");
+        let _ = std::fs::remove_file(&path);
+        let mut w = StreamWriter::open(path.to_str().unwrap()).expect("open file sink");
+        w.write_line(r#"{"schema": "obs.sample/v1", "cycle": 100}"#);
+        w.write_line(r#"{"schema": "obs.summary/v1", "cycle": 200}"#);
+        w.flush();
+        assert_eq!(w.lines_written(), 2);
+        assert_eq!(w.errors(), 0);
+        let body = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = body.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("obs.sample/v1"));
+        assert!(lines[1].contains("obs.summary/v1"));
+        assert!(body.ends_with('\n'), "every frame is newline-terminated");
+    }
+
+    #[test]
+    fn unopenable_path_is_an_error_not_a_panic() {
+        assert!(StreamWriter::open("/nonexistent-dir/equinox/frames.ndjson").is_err());
+    }
+
+    #[test]
+    fn refused_tcp_connection_is_an_error() {
+        // Port 1 on localhost: connection refused (or permission denied)
+        // everywhere we run tests.
+        assert!(StreamWriter::open("tcp:127.0.0.1:1").is_err());
+    }
+
+    #[test]
+    fn tcp_sink_delivers_lines_to_a_listener() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind ephemeral");
+        let addr = listener.local_addr().unwrap();
+        let reader = std::thread::spawn(move || {
+            let (conn, _) = listener.accept().expect("accept");
+            let mut lines = Vec::new();
+            for line in BufReader::new(conn).lines() {
+                lines.push(line.expect("read line"));
+            }
+            lines
+        });
+        let mut w = StreamWriter::open(&format!("tcp:{addr}")).expect("connect");
+        w.write_line(r#"{"cycle": 1}"#);
+        w.write_line(r#"{"cycle": 2}"#);
+        w.flush();
+        drop(w); // close the connection so the reader sees EOF
+        let lines = reader.join().expect("reader thread");
+        assert_eq!(lines, vec![r#"{"cycle": 1}"#, r#"{"cycle": 2}"#]);
+    }
+}
